@@ -1,0 +1,33 @@
+"""Benchmark-suite configuration.
+
+Each ``test_figNN`` benchmark regenerates one of the paper's figures at
+the ``small`` scale, prints the resulting table(s), and asserts the
+paper's qualitative shape (who wins, by roughly what factor, where the
+crossovers fall).  Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import pytest
+
+from repro.bench.registry import run_experiment
+
+
+@pytest.fixture
+def figure(benchmark, capsys):
+    """Run one experiment exactly once under pytest-benchmark timing."""
+
+    def _run(name):
+        tables, data = benchmark.pedantic(
+            lambda: run_experiment(name, check=True),
+            iterations=1,
+            rounds=1,
+        )
+        with capsys.disabled():
+            print()
+            for table in tables:
+                print(table)
+                print()
+        return data
+
+    return _run

@@ -1,0 +1,15 @@
+"""Extension benchmarks: ablations of design choices the paper fixes.
+
+- ``abl-policy``: the buffer replacement policies the paper defers to
+  future work (LRW vs LFU vs ARC vs 2Q).
+- ``abl-watermark``: the Low_f/High_f writeback watermarks (Section 3.2
+  fixes 5 %/20 %; this sweeps lazier and more eager settings).
+"""
+
+
+def test_ablation_replacement_policy(figure):
+    figure("abl-policy")
+
+
+def test_ablation_watermarks(figure):
+    figure("abl-watermark")

@@ -1,0 +1,9 @@
+"""Figure 1 benchmark: fio time breakdown on PMFS (read/write/others shares).
+
+Regenerates the paper's fig1 rows/series and asserts the expected
+shape.  See src/repro/bench/experiments/ for the experiment definition.
+"""
+
+
+def test_fig1(figure):
+    figure("fig1")

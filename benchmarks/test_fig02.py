@@ -1,0 +1,9 @@
+"""Figure 2 benchmark: percentage of written bytes covered by fsync per workload.
+
+Regenerates the paper's fig2 rows/series and asserts the expected
+shape.  See src/repro/bench/experiments/ for the experiment definition.
+"""
+
+
+def test_fig2(figure):
+    figure("fig2")

@@ -1,0 +1,9 @@
+"""Figure 6 benchmark: Buffer Benefit Model prediction accuracy.
+
+Regenerates the paper's fig6 rows/series and asserts the expected
+shape.  See src/repro/bench/experiments/ for the experiment definition.
+"""
+
+
+def test_fig6(figure):
+    figure("fig6")

@@ -1,0 +1,9 @@
+"""Figure 7 benchmark: overall filebench throughput normalised to PMFS.
+
+Regenerates the paper's fig7 rows/series and asserts the expected
+shape.  See src/repro/bench/experiments/ for the experiment definition.
+"""
+
+
+def test_fig7(figure):
+    figure("fig7")

@@ -1,0 +1,9 @@
+"""Figure 8 benchmark: throughput scalability for 1-10 threads.
+
+Regenerates the paper's fig8 rows/series and asserts the expected
+shape.  See src/repro/bench/experiments/ for the experiment definition.
+"""
+
+
+def test_fig8(figure):
+    figure("fig8")

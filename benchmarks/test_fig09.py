@@ -1,0 +1,9 @@
+"""Figure 9 benchmark: I/O-size sensitivity and the CLFW ablation.
+
+Regenerates the paper's fig9 rows/series and asserts the expected
+shape.  See src/repro/bench/experiments/ for the experiment definition.
+"""
+
+
+def test_fig9(figure):
+    figure("fig9")

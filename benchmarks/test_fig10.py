@@ -1,0 +1,9 @@
+"""Figure 10 benchmark: DRAM buffer-size sensitivity (fileserver vs webproxy).
+
+Regenerates the paper's fig10 rows/series and asserts the expected
+shape.  See src/repro/bench/experiments/ for the experiment definition.
+"""
+
+
+def test_fig10(figure):
+    figure("fig10")

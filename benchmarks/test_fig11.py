@@ -1,0 +1,9 @@
+"""Figure 11 benchmark: NVMM write-latency sensitivity (50-800 ns).
+
+Regenerates the paper's fig11 rows/series and asserts the expected
+shape.  See src/repro/bench/experiments/ for the experiment definition.
+"""
+
+
+def test_fig11(figure):
+    figure("fig11")

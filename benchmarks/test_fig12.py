@@ -1,0 +1,9 @@
+"""Figure 12 benchmark: trace-replay time breakdown (usr0/usr1/lasr/facebook).
+
+Regenerates the paper's fig12 rows/series and asserts the expected
+shape.  See src/repro/bench/experiments/ for the experiment definition.
+"""
+
+
+def test_fig12(figure):
+    figure("fig12")

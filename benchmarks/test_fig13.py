@@ -1,0 +1,9 @@
+"""Figure 13 benchmark: macrobenchmark elapsed time (postmark/tpcc/kernel).
+
+Regenerates the paper's fig13 rows/series and asserts the expected
+shape.  See src/repro/bench/experiments/ for the experiment definition.
+"""
+
+
+def test_fig13(figure):
+    figure("fig13")

@@ -1,0 +1,49 @@
+"""An OLTP storage engine on HiNFS: where the Benefit Model earns its keep.
+
+The TPC-C-style engine commits every transaction with a WAL append +
+fsync.  Those WAL blocks can never coalesce writes between syncs, so
+HiNFS's Buffer Benefit Model marks them Eager-Persistent and routes them
+straight to NVMM -- skipping the double copy that a naive write buffer
+(HiNFS-WB) would pay.  Table pages between checkpoints, by contrast,
+coalesce nicely and stay Lazy-Persistent.
+
+Run:  python examples/oltp_engine.py
+"""
+
+from repro.bench.report import Table
+from repro.bench.runner import run_workload
+from repro.core.config import HiNFSConfig
+from repro.workloads.macro import TPCC
+
+
+def main():
+    table = Table("TPC-C mini engine: elapsed time and write routing",
+                  ["fs", "elapsed_ms", "eager_writes", "lazy_writes",
+                   "model_accuracy_%"])
+    for fs_name in ("hinfs", "hinfs-wb", "pmfs"):
+        workload = TPCC(transactions=400)
+        result = run_workload(
+            fs_name, workload,
+            device_size=128 << 20,
+            hinfs_config=HiNFSConfig(buffer_bytes=8 << 20),
+        )
+        accuracy = ""
+        if result.fs is not None and hasattr(result.fs, "benefit"):
+            model = result.fs.benefit
+            if model.accuracy is not None:
+                accuracy = "%.1f" % (100 * model.accuracy)
+        table.add_row(
+            fs_name,
+            result.elapsed_ns / 1e6,
+            result.stats.count("hinfs_eager_writes"),
+            result.stats.count("hinfs_lazy_writes"),
+            accuracy,
+        )
+    print(table)
+    print("\nThe WAL's fsync-per-commit pattern drives its blocks")
+    print("Eager-Persistent; table pages stay Lazy-Persistent and are")
+    print("coalesced in DRAM until the periodic checkpoint.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,27 @@
+"""Benchmark harness: regenerates every table and figure in the paper.
+
+- :mod:`repro.bench.runner` -- builds a (device, fs, vfs) stack for any
+  of the paper's five file systems plus HiNFS's ablation variants, runs a
+  workload on simulated threads, and returns the measured result.
+- :mod:`repro.bench.report` -- plain-text tables/series matching the
+  rows the paper reports.
+- :mod:`repro.bench.experiments` -- one module per paper figure.
+- :mod:`repro.bench.registry` -- name -> experiment lookup for the CLI.
+"""
+
+from repro.bench.report import Series, Table
+from repro.bench.runner import (
+    FS_NAMES,
+    RunResult,
+    build_stack,
+    run_workload,
+)
+
+__all__ = [
+    "FS_NAMES",
+    "RunResult",
+    "Series",
+    "Table",
+    "build_stack",
+    "run_workload",
+]

@@ -1,0 +1,1 @@
+"""One experiment module per paper figure; see the registry."""

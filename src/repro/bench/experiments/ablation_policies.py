@@ -1,0 +1,127 @@
+"""Ablation: buffer replacement policies (the paper's deferred study).
+
+Section 3.2 argues LRW is a good default because file-system workloads
+are highly skewed, and leaves LFU/ARC/2Q "in the future".  This
+experiment runs that study: the same workloads under each policy,
+reporting throughput and the buffer write-hit ratio.  Expected shape:
+on the skewed personalities all policies land within a modest band of
+LRW (the paper's justification for choosing the simple one), with the
+frequency-aware policies doing no worse on the zipf-skewed webproxy.
+"""
+
+from repro.bench.report import Table
+from repro.bench.runner import run_workload
+from repro.bench.experiments.common import SMALL
+from repro.fs import flags as f
+from repro.workloads.base import Workload, payload, zipf_index
+from repro.workloads.filebench import Fileserver
+
+POLICIES = ("lrw", "lfu", "2q", "arc")
+
+
+class ZipfOverwrite(Workload):
+    """Hot-set overwrites with periodic sequential scans.
+
+    The classic workload that separates replacement policies: a zipf-hot
+    working set of 4 KiB blocks is rewritten continuously, while an
+    occasional sequential burst (a "scan") sweeps cold blocks through
+    the buffer.  Recency-only policies let the scan evict the hot set;
+    frequency-aware policies (LFU/ARC/2Q) keep it resident.
+    """
+
+    name = "zipf-overwrite"
+
+    def __init__(self, file_blocks=2048, hot_fraction=0.05, scan_every=40,
+                 scan_len=96, ops=4000, seed=42, threads=1):
+        super().__init__(seed=seed, threads=threads)
+        self.file_blocks = file_blocks
+        self.hot_fraction = hot_fraction
+        self.scan_every = scan_every
+        self.scan_len = scan_len
+        self.ops = ops
+
+    def prepare(self, vfs, ctx):
+        vfs.write_file(ctx, "/zipf.dat", payload(self.file_blocks * 4096, 3),
+                       chunk=1 << 20)
+
+    def make_thread_body(self, vfs, thread_id):
+        rng = self.rng(thread_id)
+        hot_blocks = max(4, int(self.file_blocks * self.hot_fraction))
+        scan_cursor = [hot_blocks]
+
+        def body(ctx):
+            fd = vfs.open(ctx, "/zipf.dat", f.O_RDWR)
+            for op in range(self.ops):
+                if op % self.scan_every == 0:
+                    # A sequential scan burst over cold blocks.
+                    for i in range(self.scan_len):
+                        blockno = (scan_cursor[0] + i) % self.file_blocks
+                        vfs.pwrite(ctx, fd, blockno * 4096, payload(4096, 9))
+                    scan_cursor[0] = (scan_cursor[0] + self.scan_len
+                                      ) % self.file_blocks
+                else:
+                    blockno = zipf_index(rng, hot_blocks, skew=1.5)
+                    vfs.pwrite(ctx, fd, blockno * 4096, payload(4096, op))
+                yield
+            vfs.close(ctx, fd)
+
+        return body
+
+
+def run(scale=SMALL, policies=POLICIES):
+    table = Table(
+        "Ablation: buffer replacement policy (throughput ops/s, hit %)",
+        ["workload", "policy", "ops_per_sec", "write_hit_%", "nvmm_MB"],
+    )
+    results = {}
+    hit_ratios = {}
+    cases = (
+        ("zipf-overwrite", lambda: ZipfOverwrite(ops=3000)),
+        ("fileserver", lambda: Fileserver(
+            threads=scale.threads, duration_ops=100_000,
+            files_per_thread=16, mean_file_size=32 << 10, io_size=32 << 10)),
+    )
+    for name, factory in cases:
+        results[name] = {}
+        hit_ratios[name] = {}
+        for policy in policies:
+            workload = factory()
+            result = run_workload(
+                "hinfs", workload,
+                device_size=scale.device_size,
+                duration_ns=scale.duration_ns,
+                hinfs_config=scale.hinfs_config(
+                    replacement_policy=policy,
+                    buffer_bytes=1 << 20,
+                ),
+            )
+            hits = result.stats.count("hinfs_buffer_hits")
+            misses = result.stats.count("hinfs_buffer_misses")
+            hit_pct = 100 * hits / max(1, hits + misses)
+            results[name][policy] = result.throughput
+            hit_ratios[name][policy] = hit_pct
+            table.add_row(name, policy, result.throughput, hit_pct,
+                          result.nvmm_bytes_written / 1e6)
+    return table, (results, hit_ratios)
+
+
+def check_shape(data):
+    results, hit_ratios = data
+    for name, by_policy in results.items():
+        base = by_policy["lrw"]
+        for policy, throughput in by_policy.items():
+            # No policy collapses or trivially dominates on the skewed
+            # workloads: the paper's "LRW is good enough" claim.
+            assert throughput >= 0.6 * base, (name, policy, by_policy)
+            assert throughput <= 1.6 * base, (name, policy, by_policy)
+    # On the scan-polluted hot-set workload, at least one frequency-aware
+    # policy must match-or-beat plain LRW on write hits (the standard
+    # scan-resistance result the paper's future work would look for).
+    zipf = hit_ratios["zipf-overwrite"]
+    assert max(zipf["lfu"], zipf["arc"], zipf["2q"]) >= zipf["lrw"], zipf
+
+
+if __name__ == "__main__":
+    table, results = run()
+    print(table)
+    check_shape(results)

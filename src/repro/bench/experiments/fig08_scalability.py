@@ -1,0 +1,97 @@
+"""Figure 8: throughput for 1-10 threads.
+
+Expected shape: HiNFS scales best everywhere.  PMFS/EXT4-DAX become
+limited by the NVMM write bandwidth on Fileserver; HiNFS stays about
+1.5x ahead of PMFS at high thread counts.  On Webserver and Varmail,
+HiNFS tracks PMFS closely and both beat the NVMMBD stacks.
+"""
+
+from repro.bench.report import Series, Table
+from repro.bench.runner import run_workload
+from repro.bench.experiments.common import SMALL, personality_kwargs
+from repro.workloads.filebench import Fileserver, Varmail, Webproxy, Webserver
+
+PERSONALITIES = {
+    "fileserver": Fileserver,
+    "webserver": Webserver,
+    "webproxy": Webproxy,
+    "varmail": Varmail,
+}
+
+FILE_SYSTEMS = ("hinfs", "pmfs", "ext4-dax", "ext2-nvmmbd")
+THREAD_COUNTS = (1, 2, 4, 8, 10)
+
+
+def _fig8_kwargs(scale, name):
+    """Scale the fileset so file lifetimes stay shorter than the buffer's
+    drain horizon (the paper's 5 GB fileset vs 2 GB buffer ratio) -- the
+    delete-absorption and coalescing effects need live buffered blocks."""
+    kwargs = personality_kwargs(scale, name)
+    if name == "fileserver":
+        kwargs.update(files_per_thread=16, mean_file_size=32 << 10,
+                      io_size=32 << 10)
+    elif name == "webproxy":
+        kwargs.update(files_per_thread=30)
+    return kwargs
+
+
+def run(scale=SMALL, personalities=("fileserver", "webproxy"),
+        file_systems=FILE_SYSTEMS, thread_counts=THREAD_COUNTS):
+    tables = []
+    series = {}
+    for name in personalities:
+        cls = PERSONALITIES[name]
+        table = Table(
+            "Figure 8 (%s): ops/s for 1-10 threads" % name,
+            ["threads"] + list(file_systems),
+        )
+        per_fs = {fs: Series(fs) for fs in file_systems}
+        for threads in thread_counts:
+            row = [threads]
+            for fs_name in file_systems:
+                workload = cls(threads=threads, duration_ops=100_000,
+                               **_fig8_kwargs(scale, name))
+                result = run_workload(
+                    fs_name, workload,
+                    device_size=scale.device_size,
+                    duration_ns=scale.duration_ns,
+                    hinfs_config=scale.hinfs_config().replace(
+                        buffer_bytes=scale.buffer_bytes * 2),
+                    cache_pages=scale.cache_pages,
+                )
+                per_fs[fs_name].add(threads, result.throughput)
+                row.append(result.throughput)
+            table.add_row(*row)
+        tables.append(table)
+        series[name] = per_fs
+    return tables, series
+
+
+def check_shape(series):
+    """The paper's Figure 8 claims."""
+    for name, per_fs in series.items():
+        hinfs = per_fs["hinfs"].ys()
+        pmfs = per_fs["pmfs"].ys()
+        # PMFS rises with threads, then is capped by the NVMM write
+        # bandwidth (Section 5.2.2).
+        assert pmfs[1] > 1.2 * pmfs[0], (name, pmfs)
+        assert pmfs[-1] <= 1.25 * pmfs[len(pmfs) // 2], (name, pmfs)
+        # HiNFS clearly beats PMFS at the top thread count on the
+        # write-dominated fileserver (the paper: ~1.5x there); on the
+        # read-heavier webproxy the gap is smaller but still present.
+        factor = 1.25 if name == "fileserver" else 1.05
+        assert hinfs[-1] >= factor * pmfs[-1], (name, hinfs, pmfs)
+        # A dip from the shrinking per-thread buffer share is expected,
+        # but throughput stabilises (paper: stable beyond 8 threads).
+        assert hinfs[-1] >= 0.7 * max(hinfs), (name, hinfs)
+        # HiNFS is never (meaningfully) below PMFS.
+        for h, p in zip(hinfs, pmfs):
+            assert h >= 0.85 * p, (name, hinfs, pmfs)
+
+
+if __name__ == "__main__":
+    tables, series = run()
+    for table in tables:
+        print(table)
+        print()
+    check_shape(series)

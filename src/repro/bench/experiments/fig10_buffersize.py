@@ -1,0 +1,75 @@
+"""Figure 10: throughput as a function of the DRAM buffer size.
+
+The buffer size sweeps from 0.1x to 1.0x the workload's fileset size.
+Expected shape: Fileserver improves markedly as the buffer grows (more
+write hits); Webproxy stays nearly flat (strong locality plus
+short-lived files that die before writeback, so even a small buffer
+absorbs almost everything).
+"""
+
+from repro.bench.report import Series, Table
+from repro.bench.runner import run_workload
+from repro.bench.experiments.common import SMALL, personality_kwargs
+from repro.workloads.filebench import Fileserver, Webproxy
+
+RATIOS = (0.1, 0.2, 0.4, 0.6, 0.8, 1.0)
+
+
+def _fig10_kwargs(scale, name):
+    """Tight filesets so the 0.1x-1.0x buffer sweep spans the regime
+    where absorption actually turns on (mirrors the fig8 sizing)."""
+    kwargs = personality_kwargs(scale, name)
+    if name == "fileserver":
+        kwargs.update(files_per_thread=24, mean_file_size=32 << 10,
+                      io_size=32 << 10)
+    elif name == "webproxy":
+        kwargs.update(files_per_thread=30)
+    return kwargs
+
+
+def _workload_bytes(scale, name):
+    kwargs = _fig10_kwargs(scale, name)
+    return scale.threads * kwargs["files_per_thread"] * (
+        kwargs.get("mean_file_size", 16 << 10)
+    )
+
+
+def run(scale=SMALL, ratios=RATIOS):
+    table = Table(
+        "Figure 10: HiNFS throughput vs DRAM buffer size (fraction of fileset)",
+        ["buffer_ratio", "fileserver", "webproxy"],
+    )
+    series = {"fileserver": Series("fileserver"), "webproxy": Series("webproxy")}
+    classes = {"fileserver": Fileserver, "webproxy": Webproxy}
+    for ratio in ratios:
+        row = [ratio]
+        for name, cls in classes.items():
+            buffer_bytes = max(32 * 4096, int(ratio * _workload_bytes(scale, name)))
+            workload = cls(threads=scale.threads, duration_ops=100_000,
+                           **_fig10_kwargs(scale, name))
+            result = run_workload(
+                "hinfs", workload,
+                device_size=scale.device_size,
+                duration_ns=scale.duration_ns,
+                hinfs_config=scale.hinfs_config().replace(
+                    buffer_bytes=buffer_bytes),
+            )
+            series[name].add(ratio, result.throughput)
+            row.append(result.throughput)
+        table.add_row(*row)
+    return table, series
+
+
+def check_shape(series):
+    fileserver = series["fileserver"].ys()
+    webproxy = series["webproxy"].ys()
+    # Fileserver gains clearly from a bigger buffer.
+    assert fileserver[-1] >= 1.2 * fileserver[0], fileserver
+    # Webproxy is insensitive (within noise).
+    assert max(webproxy) <= 1.25 * min(webproxy), webproxy
+
+
+if __name__ == "__main__":
+    table, series = run()
+    print(table)
+    check_shape(series)

@@ -1,0 +1,64 @@
+"""Figure 11: sensitivity to the NVMM write latency (single thread).
+
+The write latency sweeps 50-800 ns.  Expected shape: the HiNFS-vs-PMFS
+gap grows with the latency (the paper reports up to ~6x at 800 ns on
+Webproxy), and even at DRAM-like 50 ns HiNFS performs no worse than
+PMFS (the Benefit Model keeps the double copy off the path).
+"""
+
+from repro.bench.report import Table
+from repro.bench.runner import run_workload
+from repro.bench.experiments.common import SMALL, personality_kwargs
+from repro.workloads.filebench import Fileserver, Webproxy
+
+LATENCIES_NS = (50, 100, 200, 400, 800)
+
+
+def run(scale=SMALL, latencies=LATENCIES_NS):
+    table = Table(
+        "Figure 11: throughput vs NVMM write latency (1 thread)",
+        ["latency_ns",
+         "fileserver_hinfs", "fileserver_pmfs",
+         "webproxy_hinfs", "webproxy_pmfs"],
+    )
+    ratios = {"fileserver": {}, "webproxy": {}}
+    classes = {"fileserver": Fileserver, "webproxy": Webproxy}
+    for latency in latencies:
+        config = scale.nvmm_config(nvmm_write_latency_ns=latency)
+        row = [latency]
+        for name, cls in classes.items():
+            per_fs = {}
+            for fs_name in ("hinfs", "pmfs"):
+                workload = cls(threads=1, duration_ops=100_000,
+                               **personality_kwargs(scale, name))
+                result = run_workload(
+                    fs_name, workload,
+                    config=config,
+                    device_size=scale.device_size,
+                    duration_ns=scale.duration_ns,
+                    hinfs_config=scale.hinfs_config(),
+                )
+                per_fs[fs_name] = result.throughput
+            ratios[name][latency] = per_fs["hinfs"] / per_fs["pmfs"]
+            row.extend([per_fs["hinfs"], per_fs["pmfs"]])
+        table.add_row(*row)
+    return table, ratios
+
+
+def check_shape(ratios):
+    for name, by_latency in ratios.items():
+        latencies = sorted(by_latency)
+        # HiNFS never loses, even at DRAM-like latency.
+        assert by_latency[latencies[0]] >= 0.9, (name, by_latency)
+        # The advantage grows with the latency.
+        assert by_latency[latencies[-1]] > 1.5 * by_latency[latencies[0]], (
+            name, by_latency
+        )
+        gaps = [by_latency[lat] for lat in latencies]
+        assert gaps[-1] == max(gaps), (name, by_latency)
+
+
+if __name__ == "__main__":
+    table, ratios = run()
+    print(table)
+    check_shape(ratios)

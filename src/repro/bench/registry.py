@@ -1,0 +1,47 @@
+"""Experiment registry: figure id -> (run, check_shape)."""
+
+from repro.bench.experiments import (
+    ablation_policies,
+    ablation_watermarks,
+    fig01_breakdown,
+    fig02_fsync_bytes,
+    fig06_model_accuracy,
+    fig07_overall,
+    fig08_scalability,
+    fig09_iosize,
+    fig10_buffersize,
+    fig11_latency,
+    fig12_traces,
+    fig13_macro,
+)
+
+EXPERIMENTS = {
+    "fig1": fig01_breakdown,
+    "fig2": fig02_fsync_bytes,
+    "fig6": fig06_model_accuracy,
+    "fig7": fig07_overall,
+    "fig8": fig08_scalability,
+    "fig9": fig09_iosize,
+    "fig10": fig10_buffersize,
+    "fig11": fig11_latency,
+    "fig12": fig12_traces,
+    "fig13": fig13_macro,
+    # Extensions: ablations of design choices the paper fixes or defers.
+    "abl-policy": ablation_policies,
+    "abl-watermark": ablation_watermarks,
+}
+
+
+def run_experiment(name, scale=None, check=True):
+    """Run one experiment; returns (tables, data).  Raises AssertionError
+    if ``check`` and the paper's shape does not hold."""
+    module = EXPERIMENTS[name]
+    if scale is None:
+        tables, data = module.run()
+    else:
+        tables, data = module.run(scale=scale)
+    if not isinstance(tables, (list, tuple)):
+        tables = [tables]
+    if check:
+        module.check_shape(data)
+    return tables, data

@@ -1,0 +1,148 @@
+"""Builds file-system stacks and runs workloads on simulated threads."""
+
+from repro.core.config import HiNFSConfig
+from repro.core.hinfs import HiNFS, make_hinfs_nclfw, make_hinfs_wb
+from repro.engine.env import SimEnv
+from repro.engine.scheduler import Scheduler
+from repro.engine.stats import SimStats
+from repro.fs.ext4dax import Ext4Dax
+from repro.fs.extfs import Ext2, Ext4
+from repro.fs.pmfs import PMFS
+from repro.fs.vfs import VFS
+from repro.nvmm.config import NVMMConfig
+from repro.nvmm.device import NVMMDevice
+from repro.workloads.base import prepare_context
+
+#: The paper's comparison set (Table 3) plus HiNFS and its ablations.
+FS_NAMES = (
+    "hinfs",
+    "hinfs-nclfw",
+    "hinfs-wb",
+    "pmfs",
+    "ext4-dax",
+    "ext2-nvmmbd",
+    "ext4-nvmmbd",
+)
+
+
+class RunResult:
+    """Everything measured in one workload run."""
+
+    def __init__(self, fs_name, workload_name, ops, elapsed_ns, stats, fs=None):
+        self.fs_name = fs_name
+        self.workload_name = workload_name
+        self.ops = ops
+        self.elapsed_ns = elapsed_ns
+        self.stats = stats
+        #: The live file-system object (model-accuracy introspection).
+        self.fs = fs
+
+    @property
+    def fsync_byte_fraction(self):
+        """Fraction of written bytes later covered by an fsync (Fig. 2)."""
+        written = self.stats.count("app_bytes_written")
+        if written == 0:
+            return 0.0
+        return self.stats.count("app_bytes_fsynced") / written
+
+    @property
+    def throughput(self):
+        """Operations per simulated second."""
+        if self.elapsed_ns <= 0:
+            return 0.0
+        return self.ops * 1e9 / self.elapsed_ns
+
+    @property
+    def nvmm_bytes_written(self):
+        return self.stats.bytes_written_nvmm
+
+    def syscall_seconds(self, syscall):
+        return self.stats.syscall_time_ns.get(syscall, 0) / 1e9
+
+    def __repr__(self):
+        return "RunResult(%s/%s: %.0f ops/s, %.3f ms)" % (
+            self.fs_name,
+            self.workload_name,
+            self.throughput,
+            self.elapsed_ns / 1e6,
+        )
+
+
+def build_stack(env, fs_name, config, device_size, hinfs_config=None,
+                cache_pages=None, sync_mount=False):
+    """Construct (fs, vfs) for any comparison file system."""
+    hinfs_config = hinfs_config or HiNFSConfig()
+    if cache_pages is None:
+        # The paper gives the block-based stacks 3 GB of page cache next
+        # to a 5 GB dataset; scale the same ratio to the device size.
+        cache_pages = max(64, int(device_size * 0.6) // 4096)
+    if fs_name in ("hinfs", "hinfs-nclfw", "hinfs-wb"):
+        device = NVMMDevice(env, config, device_size)
+        factory = {
+            "hinfs": HiNFS,
+            "hinfs-nclfw": make_hinfs_nclfw,
+            "hinfs-wb": make_hinfs_wb,
+        }[fs_name]
+        fs = factory(env, device, config, hconfig=hinfs_config)
+    elif fs_name == "pmfs":
+        device = NVMMDevice(env, config, device_size)
+        fs = PMFS(env, device, config)
+    elif fs_name == "ext4-dax":
+        device = NVMMDevice(env, config, device_size)
+        fs = Ext4Dax(env, device, config)
+    elif fs_name == "ext2-nvmmbd":
+        fs = Ext2(env, config, device_size, cache_pages=cache_pages)
+    elif fs_name == "ext4-nvmmbd":
+        fs = Ext4(env, config, device_size, cache_pages=cache_pages)
+    else:
+        raise ValueError("unknown file system %r" % fs_name)
+    vfs = VFS(env, fs, config, sync_mount=sync_mount)
+    return fs, vfs
+
+
+def run_workload(fs_name, workload, config=None, device_size=96 << 20,
+                 hinfs_config=None, cache_pages=None, duration_ns=None,
+                 sync_mount=False, unmount=False):
+    """Run ``workload`` on ``fs_name``; returns a :class:`RunResult`.
+
+    The fileset is pre-allocated under a free context (filebench-style);
+    statistics are reset afterwards so only the measured run counts.
+    ``duration_ns`` stops the run at a simulated-time deadline (the
+    paper's 60-second filebench runs); without it the workload runs to
+    completion (trace replay, macrobenchmarks).
+    """
+    config = config or NVMMConfig()
+    env = SimEnv()
+    fs, vfs = build_stack(env, fs_name, config, device_size,
+                          hinfs_config=hinfs_config, cache_pages=cache_pages,
+                          sync_mount=sync_mount)
+    pctx = prepare_context(env)
+    workload.prepare(vfs, pctx)
+    fs.unmount(pctx)  # settle the fileset, like the paper's fresh mount
+    fs.drop_caches()  # and clear the OS page cache before measuring
+    vfs.reset_accounting()
+    env.stats = SimStats()  # measurement starts now
+    scheduler = Scheduler(env)
+    for tid in range(workload.threads):
+        scheduler.spawn("%s-%d" % (workload.name, tid),
+                        _bind(workload, vfs, tid))
+    elapsed = scheduler.run(until_ns=duration_ns)
+    if duration_ns is not None:
+        elapsed = max(elapsed, 1)
+        elapsed = min(elapsed, max(t.now for t in scheduler.threads))
+    if unmount:
+        # Charge the final flush to the slowest thread's context.
+        slowest = max(scheduler.threads, key=lambda t: t.now)
+        vfs.unmount(slowest.ctx)
+        elapsed = slowest.now
+    return RunResult(fs_name, workload.name, env.stats.ops_completed,
+                     elapsed, env.stats, fs=fs)
+
+
+def _bind(workload, vfs, thread_id):
+    body_factory = workload.make_thread_body(vfs, thread_id)
+
+    def body(ctx):
+        return body_factory(ctx)
+
+    return body

@@ -1,0 +1,13 @@
+"""The NVMMBD block-device emulator (paper Section 5.1).
+
+The paper compares HiNFS against traditional block-based file systems
+running on a RAMDISK-like NVMM block device built from Linux's ``brd``
+driver with the same NVMM latency/bandwidth model injected.  Requests go
+through a *generic block layer* whose per-request software cost is the
+second overhead (besides the double copy) that Figure 3(a) attributes to
+the traditional stack.
+"""
+
+from repro.blockdev.nvmmbd import NVMMBlockDevice
+
+__all__ = ["NVMMBlockDevice"]

@@ -1,0 +1,47 @@
+"""NVMMBD: a brd-style ramdisk backed by the NVMM performance model."""
+
+from repro.engine.stats import CAT_OTHERS, CAT_READ_ACCESS, CAT_WRITE_ACCESS
+from repro.nvmm.config import BLOCK_SIZE
+from repro.nvmm.device import NVMMDevice
+
+
+class NVMMBlockDevice:
+    """A block interface over an :class:`NVMMDevice`.
+
+    Every request pays the generic-block-layer software cost
+    (``config.block_layer_ns``) before touching the media; writes then go
+    through the NVMM write path (latency per cacheline, writer-slot
+    bandwidth cap), reads at DRAM speed -- the same media model as the
+    byte-addressable devices, as in the paper's emulator.
+    """
+
+    def __init__(self, env, config, size):
+        self.env = env
+        self.config = config
+        self.nvmm = NVMMDevice(env, config, size)
+        self.num_blocks = size // BLOCK_SIZE
+
+    def _check(self, block):
+        if not 0 <= block < self.num_blocks:
+            raise IndexError("block %d out of range" % block)
+
+    def read_block(self, ctx, block):
+        """One 4 KiB block read request through the block layer."""
+        self._check(block)
+        ctx.charge(self.config.block_layer_ns, CAT_OTHERS)
+        self.env.stats.bump("bio_reads")
+        return self.nvmm.read(ctx, block * BLOCK_SIZE, BLOCK_SIZE,
+                              CAT_READ_ACCESS)
+
+    def write_block(self, ctx, block, data):
+        """One 4 KiB block write request through the block layer."""
+        self._check(block)
+        if len(data) != BLOCK_SIZE:
+            raise ValueError("block writes must be %d bytes" % BLOCK_SIZE)
+        ctx.charge(self.config.block_layer_ns, CAT_OTHERS)
+        self.env.stats.bump("bio_writes")
+        self.nvmm.write_persistent(ctx, block * BLOCK_SIZE, data,
+                                   CAT_WRITE_ACCESS)
+
+    def crash(self):
+        self.nvmm.crash()

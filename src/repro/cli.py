@@ -1,0 +1,62 @@
+"""Command-line entry point: regenerate the paper's figures.
+
+Examples::
+
+    hinfs-bench --list
+    hinfs-bench fig7
+    hinfs-bench fig9 fig12 --scale medium
+    hinfs-bench all --no-check
+"""
+
+import argparse
+import sys
+
+from repro.bench.experiments.common import SCALES
+from repro.bench.registry import EXPERIMENTS, run_experiment
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="hinfs-bench",
+        description="Regenerate the HiNFS paper's tables and figures.",
+    )
+    parser.add_argument("experiments", nargs="*",
+                        help="figure ids (e.g. fig7), or 'all'")
+    parser.add_argument("--scale", choices=sorted(SCALES), default="small",
+                        help="experiment scale preset (default: small)")
+    parser.add_argument("--list", action="store_true",
+                        help="list available experiments")
+    parser.add_argument("--no-check", action="store_true",
+                        help="skip the shape assertions")
+    args = parser.parse_args(argv)
+
+    if args.list or not args.experiments:
+        for name, module in sorted(EXPERIMENTS.items(),
+                                   key=lambda kv: (len(kv[0]), kv[0])):
+            doc = (module.__doc__ or "").strip().splitlines()[0]
+            print("%-6s  %s" % (name, doc))
+        return 0
+
+    names = list(EXPERIMENTS) if args.experiments == ["all"] else args.experiments
+    scale = SCALES[args.scale]
+    failures = 0
+    for name in names:
+        if name not in EXPERIMENTS:
+            print("unknown experiment %r (try --list)" % name, file=sys.stderr)
+            return 2
+        print("== %s (scale=%s) ==" % (name, scale.name))
+        try:
+            tables, _ = run_experiment(name, scale=scale,
+                                       check=not args.no_check)
+        except AssertionError as exc:
+            print("SHAPE CHECK FAILED: %s" % exc, file=sys.stderr)
+            failures += 1
+            continue
+        for table in tables:
+            print(table)
+            print()
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,120 @@
+"""The Cacheline Bitmap (paper Section 3.2.1 and 3.3.1).
+
+Each buffered DRAM block carries two 64-bit masks over its 64 cachelines:
+
+- ``valid``: lines whose newest data is present in the DRAM block (either
+  written there or fetched from NVMM by CLFW);
+- ``dirty``: valid lines that have been modified and must eventually be
+  written back (``dirty`` is always a subset of ``valid``).
+
+The read path uses ``valid`` to decide, run by run, whether to copy from
+DRAM or NVMM (one memcpy per run of equal bits, as the paper specifies);
+the writeback path flushes only ``dirty`` runs.
+"""
+
+from repro.nvmm.config import CACHELINE_SIZE, LINES_PER_BLOCK
+
+FULL_MASK = (1 << LINES_PER_BLOCK) - 1
+
+
+def line_range_mask(offset, length):
+    """Mask of the cachelines overlapping ``[offset, offset+length)``."""
+    if length <= 0:
+        return 0
+    first = offset // CACHELINE_SIZE
+    last = (offset + length - 1) // CACHELINE_SIZE
+    return ((1 << (last - first + 1)) - 1) << first
+
+
+def fully_covered_mask(offset, length):
+    """Mask of the cachelines *fully* overwritten by the range (these need
+    no fetch-before-write even when absent from DRAM)."""
+    if length <= 0:
+        return 0
+    start = offset
+    end = offset + length
+    first_full = -(-start // CACHELINE_SIZE)  # ceil
+    last_full = end // CACHELINE_SIZE  # exclusive
+    if last_full <= first_full:
+        return 0
+    return ((1 << (last_full - first_full)) - 1) << first_full
+
+
+def popcount(mask):
+    return bin(mask).count("1")
+
+
+def iter_runs(mask, limit=LINES_PER_BLOCK):
+    """Yield ``(first_line, nlines)`` for each run of set bits."""
+    line = 0
+    while line < limit:
+        if not (mask >> line) & 1:
+            line += 1
+            continue
+        start = line
+        while line < limit and (mask >> line) & 1:
+            line += 1
+        yield start, line - start
+
+
+def iter_valid_runs(valid_mask, limit=LINES_PER_BLOCK):
+    """Yield ``(first_line, nlines, in_dram)`` runs covering every line.
+
+    This is the paper's read-path walk: consecutive lines with the same
+    bitmap value are served with a single memcpy from DRAM (bit set) or
+    NVMM (bit clear).
+    """
+    line = 0
+    while line < limit:
+        bit = (valid_mask >> line) & 1
+        start = line
+        while line < limit and ((valid_mask >> line) & 1) == bit:
+            line += 1
+        yield start, line - start, bool(bit)
+
+
+class CachelineBitmap:
+    """valid/dirty line state for one buffered DRAM block."""
+
+    __slots__ = ("valid", "dirty")
+
+    def __init__(self):
+        self.valid = 0
+        self.dirty = 0
+
+    def mark_written(self, offset, length):
+        """Record a write to ``[offset, offset+length)``: valid + dirty."""
+        mask = line_range_mask(offset, length)
+        self.valid |= mask
+        self.dirty |= mask
+        return mask
+
+    def mark_fetched(self, mask):
+        """Record lines fetched from NVMM: valid but clean."""
+        self.valid |= mask
+
+    def fetch_needed(self, offset, length):
+        """Lines that must be fetched before an unaligned write: the
+        partially-covered edge lines not already valid in DRAM."""
+        touched = line_range_mask(offset, length)
+        full = fully_covered_mask(offset, length)
+        partial = touched & ~full
+        return partial & ~self.valid
+
+    def clean(self):
+        """Writeback completed: everything stays valid, nothing dirty."""
+        self.dirty = 0
+
+    @property
+    def dirty_lines(self):
+        return popcount(self.dirty)
+
+    @property
+    def valid_lines(self):
+        return popcount(self.valid)
+
+    def __repr__(self):
+        return "CachelineBitmap(valid=%d, dirty=%d)" % (
+            self.valid_lines,
+            self.dirty_lines,
+        )

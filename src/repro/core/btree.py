@@ -1,0 +1,264 @@
+"""An in-DRAM B-tree, the structure behind HiNFS's DRAM Block Index.
+
+The paper (Figure 5) indexes each file's buffered blocks with a per-file
+B-tree keyed by the block-aligned logical file offset; the value is an
+index node holding the DRAM block number and the corresponding NVMM
+block number.  This module provides the generic ordered map; the index
+semantics live in :mod:`repro.core.buffer`.
+
+A classic B-tree of minimum degree ``t``: every node except the root
+holds between ``t - 1`` and ``2t - 1`` sorted keys; inserts split full
+children on the way down, deletes merge/borrow on the way down, so no
+recursion ever backtracks.
+"""
+
+import bisect
+
+
+class _Node:
+    __slots__ = ("keys", "values", "children")
+
+    def __init__(self, leaf=True):
+        self.keys = []
+        self.values = []
+        self.children = [] if leaf else None
+
+    @property
+    def leaf(self):
+        return self.children is None or len(self.children) == 0
+
+
+class BTree:
+    """Ordered integer-keyed map with B-tree internals."""
+
+    def __init__(self, min_degree=16):
+        if min_degree < 2:
+            raise ValueError("min_degree must be >= 2")
+        self.t = min_degree
+        self._root = _Node(leaf=True)
+        self._size = 0
+
+    def __len__(self):
+        return self._size
+
+    def __contains__(self, key):
+        return self.get(key) is not None
+
+    # -- search -----------------------------------------------------------
+
+    def get(self, key, default=None):
+        node = self._root
+        while True:
+            i = bisect.bisect_left(node.keys, key)
+            if i < len(node.keys) and node.keys[i] == key:
+                return node.values[i]
+            if node.leaf:
+                return default
+            node = node.children[i]
+
+    # -- insert -----------------------------------------------------------
+
+    def insert(self, key, value):
+        """Insert or replace; returns True if the key was new."""
+        root = self._root
+        if len(root.keys) == 2 * self.t - 1:
+            new_root = _Node(leaf=False)
+            new_root.children = [root]
+            self._split_child(new_root, 0)
+            self._root = new_root
+        fresh = self._insert_nonfull(self._root, key, value)
+        if fresh:
+            self._size += 1
+        return fresh
+
+    def _split_child(self, parent, index):
+        t = self.t
+        child = parent.children[index]
+        sibling = _Node(leaf=child.leaf)
+        mid_key = child.keys[t - 1]
+        mid_val = child.values[t - 1]
+        sibling.keys = child.keys[t:]
+        sibling.values = child.values[t:]
+        child.keys = child.keys[: t - 1]
+        child.values = child.values[: t - 1]
+        if not child.leaf:
+            sibling.children = child.children[t:]
+            child.children = child.children[:t]
+        parent.keys.insert(index, mid_key)
+        parent.values.insert(index, mid_val)
+        parent.children.insert(index + 1, sibling)
+
+    def _insert_nonfull(self, node, key, value):
+        while True:
+            i = bisect.bisect_left(node.keys, key)
+            if i < len(node.keys) and node.keys[i] == key:
+                node.values[i] = value
+                return False
+            if node.leaf:
+                node.keys.insert(i, key)
+                node.values.insert(i, value)
+                return True
+            child = node.children[i]
+            if len(child.keys) == 2 * self.t - 1:
+                self._split_child(node, i)
+                if node.keys[i] == key:
+                    node.values[i] = value
+                    return False
+                if key > node.keys[i]:
+                    i += 1
+            node = node.children[i]
+
+    # -- delete -----------------------------------------------------------
+
+    def remove(self, key):
+        """Delete ``key``; returns its value or None if absent."""
+        value = self.get(key)
+        if value is None and key not in self:
+            return None
+        self._delete(self._root, key)
+        if not self._root.leaf and len(self._root.keys) == 0:
+            self._root = self._root.children[0]
+        self._size -= 1
+        return value
+
+    def _delete(self, node, key):
+        t = self.t
+        while True:
+            i = bisect.bisect_left(node.keys, key)
+            found = i < len(node.keys) and node.keys[i] == key
+            if node.leaf:
+                if found:
+                    node.keys.pop(i)
+                    node.values.pop(i)
+                return
+            if found:
+                left, right = node.children[i], node.children[i + 1]
+                if len(left.keys) >= t:
+                    pred_k, pred_v = self._max_entry(left)
+                    node.keys[i], node.values[i] = pred_k, pred_v
+                    key = pred_k
+                    node = left
+                    continue
+                if len(right.keys) >= t:
+                    succ_k, succ_v = self._min_entry(right)
+                    node.keys[i], node.values[i] = succ_k, succ_v
+                    key = succ_k
+                    node = right
+                    continue
+                self._merge(node, i)
+                node = node.children[i]
+                continue
+            child = node.children[i]
+            if len(child.keys) < t:
+                i = self._fill(node, i)
+                child = node.children[i]
+                # After a merge the key may now live in this child.
+            node = child
+
+    @staticmethod
+    def _max_entry(node):
+        while not node.leaf:
+            node = node.children[-1]
+        return node.keys[-1], node.values[-1]
+
+    @staticmethod
+    def _min_entry(node):
+        while not node.leaf:
+            node = node.children[0]
+        return node.keys[0], node.values[0]
+
+    def _merge(self, parent, i):
+        """Merge children i and i+1 around separator i."""
+        left = parent.children[i]
+        right = parent.children[i + 1]
+        left.keys.append(parent.keys.pop(i))
+        left.values.append(parent.values.pop(i))
+        left.keys.extend(right.keys)
+        left.values.extend(right.values)
+        if not left.leaf:
+            left.children.extend(right.children)
+        parent.children.pop(i + 1)
+
+    def _fill(self, parent, i):
+        """Ensure child i has >= t keys; returns the (possibly new) index."""
+        t = self.t
+        if i > 0 and len(parent.children[i - 1].keys) >= t:
+            self._borrow_from_left(parent, i)
+            return i
+        if i < len(parent.children) - 1 and len(parent.children[i + 1].keys) >= t:
+            self._borrow_from_right(parent, i)
+            return i
+        if i < len(parent.children) - 1:
+            self._merge(parent, i)
+            return i
+        self._merge(parent, i - 1)
+        return i - 1
+
+    @staticmethod
+    def _borrow_from_left(parent, i):
+        child = parent.children[i]
+        left = parent.children[i - 1]
+        child.keys.insert(0, parent.keys[i - 1])
+        child.values.insert(0, parent.values[i - 1])
+        parent.keys[i - 1] = left.keys.pop()
+        parent.values[i - 1] = left.values.pop()
+        if not child.leaf:
+            child.children.insert(0, left.children.pop())
+
+    @staticmethod
+    def _borrow_from_right(parent, i):
+        child = parent.children[i]
+        right = parent.children[i + 1]
+        child.keys.append(parent.keys[i])
+        child.values.append(parent.values[i])
+        parent.keys[i] = right.keys.pop(0)
+        parent.values[i] = right.values.pop(0)
+        if not child.leaf:
+            child.children.append(right.children.pop(0))
+
+    # -- iteration ----------------------------------------------------------
+
+    def items(self):
+        """All (key, value) pairs in ascending key order."""
+        out = []
+        self._walk(self._root, out)
+        return out
+
+    def _walk(self, node, out):
+        if node.leaf:
+            out.extend(zip(node.keys, node.values))
+            return
+        for i, key in enumerate(node.keys):
+            self._walk(node.children[i], out)
+            out.append((key, node.values[i]))
+        self._walk(node.children[-1], out)
+
+    def keys(self):
+        return [k for k, _ in self.items()]
+
+    def clear(self):
+        self._root = _Node(leaf=True)
+        self._size = 0
+
+    # -- invariants (used by property tests) --------------------------------
+
+    def check_invariants(self):
+        """Raise AssertionError if any B-tree invariant is violated."""
+        self._check_node(self._root, is_root=True, lo=None, hi=None)
+
+    def _check_node(self, node, is_root, lo, hi):
+        assert node.keys == sorted(node.keys), "keys unsorted"
+        assert len(node.keys) == len(node.values)
+        if not is_root:
+            assert len(node.keys) >= self.t - 1, "underfull node"
+        assert len(node.keys) <= 2 * self.t - 1, "overfull node"
+        for key in node.keys:
+            if lo is not None:
+                assert key > lo
+            if hi is not None:
+                assert key < hi
+        if not node.leaf:
+            assert len(node.children) == len(node.keys) + 1
+            bounds = [lo] + node.keys + [hi]
+            for i, child in enumerate(node.children):
+                self._check_node(child, False, bounds[i], bounds[i + 1])

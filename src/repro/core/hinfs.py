@@ -1,0 +1,531 @@
+"""HiNFS: hide NVMM write latency, avoid double copies (paper Section 3).
+
+HiNFS extends PMFS (it "shares the file system data structures of PMFS
+but adds a new DRAM buffer layer and modifies the file I/O execution
+paths", Section 4):
+
+- **Lazy-persistent writes** go to the DRAM write buffer; background
+  writeback threads persist them later.  Their metadata transaction
+  stays open until the buffered data reaches NVMM (ordered mode with a
+  deferred commit entry).
+- **Eager-persistent writes** (O_SYNC / sync mount, or blocks the Buffer
+  Benefit Model marked Eager-Persistent) go directly to NVMM with a
+  single copy.
+- **Reads** copy directly from DRAM and/or NVMM into the user buffer;
+  the Cacheline Bitmap decides, run by run, where the newest bytes live.
+
+Ablation variants used by the paper's evaluation:
+
+- ``make_hinfs_nclfw`` -- CLFW disabled (block-granular fetch/writeback;
+  Figure 9).
+- ``make_hinfs_wb`` -- Eager-Persistent Write Checker disabled: every
+  write is buffered (Figures 12/13's HiNFS-WB).
+"""
+
+from repro.core.benefit import BufferBenefitModel
+from repro.core.bitmap import FULL_MASK, iter_runs, iter_valid_runs, popcount
+from repro.core.buffer import WriteBuffer
+from repro.core.config import HiNFSConfig
+from repro.core.writeback import WritebackTask
+from repro.engine.stats import CAT_READ_ACCESS, CAT_WRITE_ACCESS
+from repro.fs.errors import IsADirectory
+from repro.fs.pmfs.layout import block_addr
+from repro.fs.pmfs.pmfs import PMFS
+from repro.nvmm.config import BLOCK_SIZE, CACHELINE_SIZE
+
+
+class PendingTx:
+    """A journal transaction whose commit waits on buffered data blocks.
+
+    Commits of one file's transactions must land in journal order: an
+    undo rollback of an older-but-uncommitted transaction would otherwise
+    clobber the effects of a newer committed one on the same inode
+    bytes.  Pending transactions therefore form a per-file chain; a
+    transaction whose data is durable but whose predecessor is still
+    open waits (``ready``) and is committed by the predecessor's cascade.
+    """
+
+    __slots__ = ("tx", "blocks", "prev", "next", "ready")
+
+    def __init__(self, tx, prev=None):
+        self.tx = tx
+        self.blocks = set()
+        self.prev = prev
+        self.next = None
+        self.ready = False
+        if prev is not None:
+            prev.next = self
+
+    def attach(self, block):
+        self.blocks.add(block)
+        block.pending_txs.add(self)
+
+    def complete_block(self, ctx, journal, block):
+        """Called when ``block`` has been persisted (or discarded)."""
+        self.blocks.discard(block)
+        self.maybe_commit(ctx, journal)
+
+    def maybe_commit(self, ctx, journal):
+        node = self
+        while node is not None:
+            if node.blocks or not node.tx.open:
+                return
+            if node.prev is not None and node.prev.tx.open:
+                # Data durable, but an older same-file tx is still open.
+                node.ready = True
+                return
+            journal.commit(ctx, node.tx)
+            node.prev = None
+            successor = node.next
+            node.next = None
+            if successor is None or not successor.ready:
+                return
+            node = successor
+
+
+class HiNFS(PMFS):
+    """The high performance file system for non-volatile main memory."""
+
+    name = "hinfs"
+
+    def __init__(self, env, device, config, hconfig=None, journal_blocks=512,
+                 **kwargs):
+        super().__init__(env, device, config, journal_blocks=journal_blocks,
+                         **kwargs)
+        self.hconfig = hconfig or HiNFSConfig()
+        self.buffer = WriteBuffer(env, config, self.hconfig)
+        self.benefit = BufferBenefitModel(env, config, self.hconfig)
+        self.writeback = WritebackTask(env, self)
+        env.background.register(self.writeback)
+        self.journal.wrap_barrier = self._wrap_barrier
+        self._mmapped = set()
+        # ino -> newest PendingTx of that file (commit-ordering chains).
+        self._file_tx_tail = {}
+        # Transient: id(tx) -> PendingTx while a write is in flight.
+        self._async_pending = {}
+
+    # ------------------------------------------------------------------
+    # write path
+    # ------------------------------------------------------------------
+
+    def write(self, ctx, ino, offset, data, eager=False):
+        inode = self._inode(ino)
+        if inode.is_dir:
+            raise IsADirectory("inode %d" % ino)
+        if not data:
+            return 0
+        ctx.charge(self.config.index_lookup_ns)
+        if eager:
+            # Case (1): synchronous write -- must be durable on return.
+            return self._write_sync(ctx, inode, offset, data)
+        return self._write_async(ctx, inode, offset, data)
+
+    def _open_tail(self, ino):
+        """Newest still-relevant PendingTx of a file, or None."""
+        tail = self._file_tx_tail.get(ino)
+        if tail is not None and not tail.tx.open:
+            del self._file_tx_tail[ino]
+            return None
+        return tail
+
+    def _write_async(self, ctx, inode, offset, data):
+        """Asynchronous write: buffer unless the block is Eager-Persistent."""
+        ino = inode.ino
+        tx = self.journal.begin(ctx)
+        try:
+            return self._write_async_body(ctx, inode, offset, tx,
+                                          memoryview(data))
+        finally:
+            # Success or failure (e.g. ENOSPC mid-write), the transaction
+            # must end up committed or chained -- never leaked open.
+            self._finish_async_tx(ctx, ino, tx,
+                                  self._async_pending.pop(id(tx), None))
+
+    def _write_async_body(self, ctx, inode, offset, tx, view):
+        ino = inode.ino
+        blockmap = self._map(ino)
+        mmapped = ino in self._mmapped
+        pending = None
+        pos = offset
+        while view:
+            file_block, in_off = divmod(pos, BLOCK_SIZE)
+            take = min(BLOCK_SIZE - in_off, len(view))
+            chunk = bytes(view[:take])
+            self.benefit.record_write(ino, file_block, in_off, take, ctx.now)
+            buffered = self.buffer.lookup(ino, file_block)
+            eager_state = mmapped or self.benefit.is_eager(
+                ino, file_block, ctx.now, inode.last_sync
+            )
+            if eager_state and buffered is None:
+                # Direct single-copy write to NVMM; safe because the
+                # block's newest data is already persistent (Sec 3.3.2).
+                nvmm_block, fresh = self._ensure_mapped(ctx, tx, blockmap,
+                                                        file_block)
+                self.device.write_persistent(
+                    ctx, block_addr(nvmm_block) + in_off, chunk
+                )
+                self.env.stats.bump("hinfs_eager_writes")
+            else:
+                nvmm_block, fresh = self._ensure_mapped(ctx, tx, blockmap,
+                                                        file_block)
+                if buffered is None:
+                    buffered = self._buffer_insert(
+                        ctx, ino, file_block, nvmm_block, fresh
+                    )
+                    self.env.stats.bump("hinfs_buffer_misses")
+                else:
+                    self.env.stats.bump("hinfs_buffer_hits")
+                self._fetch_before_write(ctx, buffered, in_off, take)
+                self.buffer.write_into(ctx, buffered, in_off, chunk, ctx.now)
+                if pending is None:
+                    pending = PendingTx(tx)
+                    self._async_pending[id(tx)] = pending
+                pending.attach(buffered)
+                self.env.stats.bump("hinfs_lazy_writes")
+            pos += take
+            view = view[take:]
+        written = pos - offset
+        inode.size = max(inode.size, offset + written)
+        inode.mtime = ctx.now
+        self.itable.write_core(ctx, tx, inode)
+        return written
+
+    def _finish_async_tx(self, ctx, ino, tx, pending):
+        """Commit now, or chain the deferred commit behind this file's
+        still-open transactions (see PendingTx)."""
+        if not tx.open:
+            return
+        tail = self._open_tail(ino)
+        if pending is None and tail is None:
+            self.journal.commit(ctx, tx)
+        else:
+            if pending is None:
+                pending = PendingTx(tx, prev=tail)
+            else:
+                pending.prev = tail
+                if tail is not None:
+                    tail.next = pending
+            self._file_tx_tail[ino] = pending
+            pending.maybe_commit(ctx, self.journal)
+        if self.buffer.below_low_watermark or self._journal_pressure():
+            self.writeback.signal_pressure(ctx.now)
+
+    def _journal_pressure(self):
+        """Ask for background flushing well before the ring must wrap, so
+        the wrap barrier rarely lands on the foreground."""
+        return self.journal.used_slots > int(0.35 * self.journal.capacity)
+
+    def _barrier_file(self, ctx, ino):
+        """Close every open deferred transaction of a file, in order.
+
+        Required before any operation that commits a new transaction on
+        the same file synchronously (O_SYNC writes, truncate): committing
+        out of order would let a crash roll an older transaction back
+        over the newer committed state.
+        """
+        blocks = [b for b in self.buffer.file_blocks(ino) if b.pending_txs]
+        if blocks:
+            self.flush_blocks(ctx, blocks)
+        tail = self._open_tail(ino)
+        if tail is None:
+            return
+        chain = []
+        node = tail
+        while node is not None and node.tx.open:
+            chain.append(node)
+            node = node.prev
+        for node in reversed(chain):
+            if not node.blocks and node.tx.open:
+                self.journal.commit(ctx, node.tx)
+
+    def _write_sync(self, ctx, inode, offset, data):
+        """Case (1) eager write: durable (data + metadata) on return."""
+        ino = inode.ino
+        self._barrier_file(ctx, ino)
+        blockmap = self._map(ino)
+        tx = self.journal.begin(ctx)
+        try:
+            return self._write_sync_body(ctx, inode, offset, tx,
+                                         memoryview(data))
+        finally:
+            if tx.open:
+                self.journal.commit(ctx, tx)
+
+    def _write_sync_body(self, ctx, inode, offset, tx, view):
+        ino = inode.ino
+        blockmap = self._map(ino)
+        pos = offset
+        while view:
+            file_block, in_off = divmod(pos, BLOCK_SIZE)
+            take = min(BLOCK_SIZE - in_off, len(view))
+            chunk = bytes(view[:take])
+            self.benefit.record_write(ino, file_block, in_off, take, ctx.now)
+            nvmm_block, fresh = self._ensure_mapped(ctx, tx, blockmap, file_block)
+            buffered = self.buffer.lookup(ino, file_block)
+            if buffered is not None:
+                # Paper 3.3.2: write into the DRAM copy, then explicitly
+                # evict it before returning to the user.
+                self._fetch_before_write(ctx, buffered, in_off, take)
+                self.buffer.write_into(ctx, buffered, in_off, chunk, ctx.now)
+                self.flush_and_evict(ctx, buffered)
+            else:
+                self.device.write_persistent(
+                    ctx, block_addr(nvmm_block) + in_off, chunk
+                )
+            self.env.stats.bump("hinfs_sync_writes")
+            pos += take
+            view = view[take:]
+        written = pos - offset
+        inode.size = max(inode.size, offset + written)
+        inode.mtime = ctx.now
+        self.itable.write_core(ctx, tx, inode)
+        return written
+
+    # -- write-path helpers -------------------------------------------------
+
+    def _ensure_mapped(self, ctx, tx, blockmap, file_block):
+        """Map ``file_block`` in NVMM (journaled); returns (block, fresh)."""
+        return self._ensure_mapped_for_mmap(ctx, tx, blockmap, file_block)
+
+    def _buffer_insert(self, ctx, ino, file_block, nvmm_block, fresh):
+        """Get a free DRAM block (stalling on the flusher if dry)."""
+        if self.buffer.free_blocks == 0:
+            self.writeback.demand_reclaim(ctx)
+        block = self.buffer.insert(ino, file_block, nvmm_block)
+        if fresh:
+            # Freshly-allocated NVMM blocks are all zeroes; materialise
+            # them in DRAM instead of "fetching" zeroes.
+            self.buffer.dram.mem.fill(block.dram_addr, BLOCK_SIZE, 0)
+            block.bitmap.mark_fetched(FULL_MASK)
+        return block
+
+    def _fetch_before_write(self, ctx, block, in_off, length):
+        """CLFW: fetch only the partially-overwritten edge cachelines;
+        HiNFS-NCLFW fetches the whole missing block instead."""
+        if self.hconfig.enable_clfw:
+            need = block.bitmap.fetch_needed(in_off, length)
+        else:
+            need = FULL_MASK & ~block.bitmap.valid
+        if not need:
+            return
+        src_base = block_addr(block.nvmm_block)
+        for start, nlines in iter_runs(need):
+            data = self.device.read(
+                ctx, src_base + start * CACHELINE_SIZE, nlines * CACHELINE_SIZE
+            )
+            self.buffer.dram.write(ctx, block.dram_addr + start * CACHELINE_SIZE,
+                                   data)
+        block.bitmap.mark_fetched(need)
+        self.env.stats.bump("hinfs_fetched_lines", popcount(need))
+
+    # ------------------------------------------------------------------
+    # read path
+    # ------------------------------------------------------------------
+
+    def read(self, ctx, ino, offset, count):
+        """Direct read from DRAM and/or NVMM guided by the bitmaps."""
+        inode = self._inode(ino)
+        if inode.is_dir:
+            raise IsADirectory("inode %d" % ino)
+        if offset >= inode.size or count <= 0:
+            return b""
+        count = min(count, inode.size - offset)
+        ctx.charge(self.config.index_lookup_ns)
+        blockmap = self._map(ino)
+        out = bytearray()
+        pos = offset
+        remaining = count
+        while remaining > 0:
+            file_block, in_off = divmod(pos, BLOCK_SIZE)
+            take = min(BLOCK_SIZE - in_off, remaining)
+            buffered = self.buffer.lookup(ino, file_block)
+            if buffered is None or buffered.bitmap.valid == 0:
+                out.extend(self._read_nvmm(ctx, blockmap, file_block, in_off, take))
+            else:
+                out.extend(
+                    self._read_merged(ctx, buffered, in_off, take)
+                )
+            pos += take
+            remaining -= take
+        return bytes(out)
+
+    def _read_nvmm(self, ctx, blockmap, file_block, in_off, take):
+        nvmm_block = blockmap.get(file_block)
+        if nvmm_block is None:
+            ctx.charge(self.config.load_cost_ns(take), CAT_READ_ACCESS)
+            return b"\0" * take
+        return self.device.read(ctx, block_addr(nvmm_block) + in_off, take)
+
+    def _read_merged(self, ctx, block, in_off, take):
+        """One memcpy per run of equal Cacheline-Bitmap bits (Sec 3.3.1)."""
+        out = bytearray()
+        lo, hi = in_off, in_off + take
+        for start, nlines, in_dram in iter_valid_runs(block.bitmap.valid):
+            run_lo = start * CACHELINE_SIZE
+            run_hi = run_lo + nlines * CACHELINE_SIZE
+            copy_lo = max(lo, run_lo)
+            copy_hi = min(hi, run_hi)
+            if copy_lo >= copy_hi:
+                continue
+            length = copy_hi - copy_lo
+            if in_dram:
+                out.extend(self.buffer.read_from(ctx, block, copy_lo, length))
+            else:
+                out.extend(
+                    self.device.read(
+                        ctx, block_addr(block.nvmm_block) + copy_lo, length
+                    )
+                )
+        return bytes(out)
+
+    # ------------------------------------------------------------------
+    # synchronization
+    # ------------------------------------------------------------------
+
+    def fsync(self, ctx, ino):
+        """Flush the file's buffered blocks; re-evaluate the Benefit Model."""
+        inode = self._inode(ino)
+        # Evaluate Inequality (1) for every block written since the last
+        # sync (the ghost buffer tracked them whether buffered or not).
+        for file_block in self.benefit.pending_blocks(ino):
+            self.benefit.on_sync(ino, file_block, ctx.now)
+        self.flush_blocks(ctx, self.buffer.file_blocks(ino))
+        # last_sync only feeds the 5-second eager-reset heuristic; the
+        # paper notes recording it is lightweight, so it stays DRAM-only.
+        inode.last_sync = ctx.now
+        self.device.fence(ctx)
+        self.env.stats.bump("hinfs_fsyncs")
+
+    # ------------------------------------------------------------------
+    # flush / discard machinery
+    # ------------------------------------------------------------------
+
+    def flush_and_evict(self, ctx, block):
+        """Persist one buffered block and release it."""
+        self.flush_blocks(ctx, [block])
+
+    def flush_blocks(self, ctx, blocks, parallel=False):
+        """Persist a batch of buffered blocks to NVMM, then release them.
+
+        ``parallel=True`` overlaps the dirty runs across the NVMM writer
+        slots -- the effect of the paper's *multiple* background
+        writeback threads; the caller waits once for the slowest run.  A
+        foreground fsync flushes serially (the syncing thread performs
+        the ``N_cf`` cacheline flushes itself, Section 3.3.2).
+
+        Deferred commits are appended only after the data is durable
+        (ordered mode).  With CLFW only dirty cacheline runs are written;
+        the HiNFS-NCLFW ablation writes back every valid line of a dirty
+        block.
+        """
+        ends = []
+        for block in blocks:
+            if self.hconfig.enable_clfw:
+                mask = block.bitmap.dirty
+            else:
+                mask = block.bitmap.valid if block.bitmap.dirty else 0
+            if not mask:
+                continue
+            dst_base = block_addr(block.nvmm_block)
+            for start, nlines in iter_runs(mask):
+                data = self.buffer.read_from(
+                    ctx, block, start * CACHELINE_SIZE, nlines * CACHELINE_SIZE
+                )
+                dst = dst_base + start * CACHELINE_SIZE
+                if parallel:
+                    ends.append(
+                        self.device.write_persistent_async(ctx, dst, data)
+                    )
+                else:
+                    self.device.write_persistent(ctx, dst, data)
+            self.env.stats.bump("hinfs_flushed_lines", popcount(mask))
+        if ends:
+            ctx.sync_to(max(ends), CAT_WRITE_ACCESS)
+        for block in blocks:
+            block.bitmap.clean()
+            self._complete_pending(ctx, block)
+            self.buffer.evict(block)
+
+    def discard_block(self, ctx, block):
+        """Drop a buffered block without writeback (unlink/truncate path:
+        writes to files that are later deleted never touch NVMM)."""
+        self._complete_pending(ctx, block)
+        self.buffer.evict(block)
+        self.env.stats.bump("hinfs_discarded_blocks")
+
+    def _complete_pending(self, ctx, block):
+        for pending in list(block.pending_txs):
+            pending.complete_block(ctx, self.journal, block)
+        block.pending_txs.clear()
+
+    def _wrap_barrier(self, ctx):
+        """Journal recycling: force every deferred commit closed."""
+        self.flush_blocks(ctx, self.buffer.all_blocks_lrw_order(),
+                          parallel=True)
+
+    # ------------------------------------------------------------------
+    # memory-mapped I/O (paper Section 4.2)
+    # ------------------------------------------------------------------
+
+    def mmap(self, ctx, ino):
+        """Map a file directly: flush its buffered DRAM blocks first and
+        pin its blocks Eager-Persistent until munmap."""
+        region = super().mmap(ctx, ino)
+        self.flush_blocks(ctx, self.buffer.file_blocks(ino))
+        self._mmapped.add(ino)
+        return region
+
+    def on_munmap(self, ino):
+        self._mmapped.discard(ino)
+
+    # ------------------------------------------------------------------
+    # namespace hooks
+    # ------------------------------------------------------------------
+
+    def on_release(self, ctx, ino):
+        for block in self.buffer.file_blocks(ino):
+            self.discard_block(ctx, block)
+        self.benefit.drop_file(ino)
+        self._mmapped.discard(ino)
+
+    def truncate(self, ctx, ino, new_size):
+        first_dead = -(-new_size // BLOCK_SIZE)
+        for block in self.buffer.file_blocks(ino):
+            if block.file_block >= first_dead:
+                self.discard_block(ctx, block)
+        # The truncate transaction commits synchronously; surviving
+        # deferred transactions of this file must commit first.
+        self._barrier_file(ctx, ino)
+        super().truncate(ctx, ino, new_size)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def unmount(self, ctx):
+        """Flush all DRAM blocks to NVMM (paper Section 3.2)."""
+        self.flush_blocks(ctx, self.buffer.all_blocks_lrw_order(),
+                          parallel=True)
+        super().unmount(ctx)
+
+    def drop_caches(self):
+        """Reset the Benefit Model's history (fresh measured run); the
+        buffer itself was emptied by the preceding unmount flush."""
+        self.benefit = BufferBenefitModel(self.env, self.config, self.hconfig)
+
+    def free_data_bytes(self, ctx):
+        return self.balloc.free_count * BLOCK_SIZE
+
+
+def make_hinfs_nclfw(env, device, config, hconfig=None, **kwargs):
+    """HiNFS-NCLFW: block-granular fetch/writeback (Figure 9 ablation)."""
+    hconfig = (hconfig or HiNFSConfig()).replace(enable_clfw=False)
+    return HiNFS(env, device, config, hconfig=hconfig, **kwargs)
+
+
+def make_hinfs_wb(env, device, config, hconfig=None, **kwargs):
+    """HiNFS-WB: plain DRAM write buffer, no eager checker (Fig 12/13)."""
+    hconfig = (hconfig or HiNFSConfig()).replace(enable_eager_checker=False)
+    fs = HiNFS(env, device, config, hconfig=hconfig, **kwargs)
+    fs.name = "hinfs-wb"
+    return fs

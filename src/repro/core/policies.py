@@ -1,0 +1,324 @@
+"""Pluggable buffer replacement policies (the paper's future work).
+
+Section 3.2: "this does not limit HiNFS of using other sophisticated
+buffer replacement policies, such as LFU, ARC, 2Q ... We leave the
+research of using different buffer replacement policies in the future."
+This module implements that future work: a policy interface plus four
+policies --
+
+- :class:`LRWPolicy` -- the paper's default Least-Recently-Written list;
+- :class:`LFUPolicy` -- Least-Frequently-Written (frequency buckets with
+  LRW tie-breaking, O(1) operations);
+- :class:`TwoQPolicy` -- Johnson & Shasha's 2Q adapted to a write
+  buffer: a FIFO probation queue (A1in), a ghost queue of recently
+  evicted block ids (A1out), and a main LRW queue (Am) for blocks
+  rewritten after probation or re-admitted from the ghost;
+- :class:`ARCPolicy` -- Megiddo & Modha's Adaptive Replacement Cache
+  adapted likewise: recency list T1, frequency list T2, ghost lists
+  B1/B2 steering the adaptive target ``p``.
+
+Policies order *eviction*; correctness is unaffected (every block is
+flushed before release), only the write-hit ratio changes -- which is
+exactly what the ablation benchmark measures.
+"""
+
+from collections import OrderedDict
+
+from repro.core.lrw import LRWList
+
+
+class ReplacementPolicy:
+    """Victim-ordering interface used by the write buffer."""
+
+    name = "abstract"
+
+    def on_buffered(self, block):
+        """A block entered the buffer (first write after insert follows)."""
+        raise NotImplementedError
+
+    def on_write(self, block):
+        """The block was written again while buffered."""
+        raise NotImplementedError
+
+    def on_evict(self, block):
+        """The block left the buffer (flushed or discarded)."""
+        raise NotImplementedError
+
+    def victim(self):
+        """The next block to evict, or None if the buffer is empty."""
+        raise NotImplementedError
+
+    def iter_order(self):
+        """All buffered blocks, best-victim first (snapshot)."""
+        raise NotImplementedError
+
+    def __len__(self):
+        raise NotImplementedError
+
+
+class LRWPolicy(ReplacementPolicy):
+    """The paper's default: a single Least-Recently-Written list."""
+
+    name = "lrw"
+
+    def __init__(self):
+        self._list = LRWList()
+
+    def on_buffered(self, block):
+        self._list.touch(block)
+
+    def on_write(self, block):
+        self._list.touch(block)
+
+    def on_evict(self, block):
+        self._list.remove(block)
+
+    def victim(self):
+        return self._list.lrw_victim()
+
+    def iter_order(self):
+        return self._list.iter_lrw_order()
+
+    def __len__(self):
+        return len(self._list)
+
+
+class LFUPolicy(ReplacementPolicy):
+    """Least-Frequently-Written with O(1) frequency buckets.
+
+    Each bucket is an LRW list; eviction takes the LRW end of the lowest
+    non-empty bucket, so ties break by recency (LFU-aging without decay).
+    """
+
+    name = "lfu"
+
+    def __init__(self, max_frequency=64):
+        self.max_frequency = max_frequency
+        self._buckets = {}
+        self._freq = {}  # id(block) -> frequency
+        self._size = 0
+
+    def _bucket(self, freq):
+        bucket = self._buckets.get(freq)
+        if bucket is None:
+            bucket = LRWList()
+            self._buckets[freq] = bucket
+        return bucket
+
+    def on_buffered(self, block):
+        self._freq[id(block)] = 1
+        self._bucket(1).touch(block)
+        self._size += 1
+
+    def on_write(self, block):
+        freq = self._freq.get(id(block))
+        if freq is None:
+            self.on_buffered(block)
+            return
+        new_freq = min(self.max_frequency, freq + 1)
+        if new_freq != freq:
+            self._buckets[freq].remove(block)
+            self._freq[id(block)] = new_freq
+        else:
+            self._buckets[freq].remove(block)
+        self._bucket(new_freq).touch(block)
+
+    def on_evict(self, block):
+        freq = self._freq.pop(id(block), None)
+        if freq is not None:
+            self._buckets[freq].remove(block)
+            self._size -= 1
+
+    def victim(self):
+        for freq in sorted(self._buckets):
+            victim = self._buckets[freq].lrw_victim()
+            if victim is not None:
+                return victim
+        return None
+
+    def iter_order(self):
+        out = []
+        for freq in sorted(self._buckets):
+            out.extend(self._buckets[freq].iter_lrw_order())
+        return out
+
+    def __len__(self):
+        return self._size
+
+
+class TwoQPolicy(ReplacementPolicy):
+    """2Q adapted to a write buffer.
+
+    New blocks enter the FIFO probation queue ``A1in``.  A block written
+    again while in probation is promoted to the main queue ``Am`` (an
+    LRW list).  Eviction prefers the front of ``A1in`` (once it exceeds
+    ``kin`` of the population) and remembers evicted ids in the ghost
+    ``A1out``; a re-inserted ghost id goes straight to ``Am``.
+    """
+
+    name = "2q"
+
+    def __init__(self, kin=0.25, kout=0.5, capacity_hint=1024):
+        self.kin = kin
+        self.kout_entries = max(16, int(kout * capacity_hint))
+        self._a1in = LRWList()
+        self._am = LRWList()
+        self._a1out = OrderedDict()  # ghost: (ino, file_block) -> None
+        self._where = {}  # id(block) -> "a1in" | "am"
+
+    @staticmethod
+    def _key(block):
+        return (block.ino, block.file_block)
+
+    def on_buffered(self, block):
+        if self._key(block) in self._a1out:
+            del self._a1out[self._key(block)]
+            self._am.touch(block)
+            self._where[id(block)] = "am"
+        else:
+            self._a1in.touch(block)
+            self._where[id(block)] = "a1in"
+
+    def on_write(self, block):
+        where = self._where.get(id(block))
+        if where is None:
+            self.on_buffered(block)
+        elif where == "a1in":
+            # Second write while on probation: promote.
+            self._a1in.remove(block)
+            self._am.touch(block)
+            self._where[id(block)] = "am"
+        else:
+            self._am.touch(block)
+
+    def on_evict(self, block):
+        where = self._where.pop(id(block), None)
+        if where == "a1in":
+            self._a1in.remove(block)
+            self._a1out[self._key(block)] = None
+            while len(self._a1out) > self.kout_entries:
+                self._a1out.popitem(last=False)
+        elif where == "am":
+            self._am.remove(block)
+
+    def victim(self):
+        total = len(self)
+        if total == 0:
+            return None
+        if len(self._a1in) > self.kin * total:
+            victim = self._a1in.lrw_victim()
+            if victim is not None:
+                return victim
+        victim = self._am.lrw_victim()
+        if victim is not None:
+            return victim
+        return self._a1in.lrw_victim()
+
+    def iter_order(self):
+        return self._a1in.iter_lrw_order() + self._am.iter_lrw_order()
+
+    def __len__(self):
+        return len(self._a1in) + len(self._am)
+
+
+class ARCPolicy(ReplacementPolicy):
+    """ARC adapted to a write buffer.
+
+    ``t1`` holds blocks written once since admission, ``t2`` blocks
+    written at least twice.  Ghost lists ``b1``/``b2`` remember evicted
+    ids; a re-insertion that hits a ghost list adapts the target size
+    ``p`` of ``t1`` (hit in b1 -> favour recency, grow p; hit in b2 ->
+    favour frequency, shrink p) exactly as in the original algorithm.
+    """
+
+    name = "arc"
+
+    def __init__(self, capacity_hint=1024):
+        self.capacity = max(8, capacity_hint)
+        self.p = 0.0
+        self._t1 = LRWList()
+        self._t2 = LRWList()
+        self._b1 = OrderedDict()
+        self._b2 = OrderedDict()
+        self._where = {}
+
+    @staticmethod
+    def _key(block):
+        return (block.ino, block.file_block)
+
+    def _trim_ghost(self, ghost):
+        while len(ghost) > self.capacity:
+            ghost.popitem(last=False)
+
+    def on_buffered(self, block):
+        key = self._key(block)
+        if key in self._b1:
+            delta = max(1.0, len(self._b2) / max(1, len(self._b1)))
+            self.p = min(float(self.capacity), self.p + delta)
+            del self._b1[key]
+            self._t2.touch(block)
+            self._where[id(block)] = "t2"
+        elif key in self._b2:
+            delta = max(1.0, len(self._b1) / max(1, len(self._b2)))
+            self.p = max(0.0, self.p - delta)
+            del self._b2[key]
+            self._t2.touch(block)
+            self._where[id(block)] = "t2"
+        else:
+            self._t1.touch(block)
+            self._where[id(block)] = "t1"
+
+    def on_write(self, block):
+        where = self._where.get(id(block))
+        if where is None:
+            self.on_buffered(block)
+        elif where == "t1":
+            self._t1.remove(block)
+            self._t2.touch(block)
+            self._where[id(block)] = "t2"
+        else:
+            self._t2.touch(block)
+
+    def on_evict(self, block):
+        where = self._where.pop(id(block), None)
+        key = self._key(block)
+        if where == "t1":
+            self._t1.remove(block)
+            self._b1[key] = None
+            self._trim_ghost(self._b1)
+        elif where == "t2":
+            self._t2.remove(block)
+            self._b2[key] = None
+            self._trim_ghost(self._b2)
+
+    def victim(self):
+        if len(self._t1) >= max(1, int(self.p)):
+            victim = self._t1.lrw_victim()
+            if victim is not None:
+                return victim
+        victim = self._t2.lrw_victim()
+        if victim is not None:
+            return victim
+        return self._t1.lrw_victim()
+
+    def iter_order(self):
+        return self._t1.iter_lrw_order() + self._t2.iter_lrw_order()
+
+    def __len__(self):
+        return len(self._t1) + len(self._t2)
+
+
+POLICIES = {
+    "lrw": LRWPolicy,
+    "lfu": LFUPolicy,
+    "2q": TwoQPolicy,
+    "arc": ARCPolicy,
+}
+
+
+def make_policy(name, capacity_hint=1024):
+    """Instantiate a policy by name, sizing its ghosts to the buffer."""
+    cls = POLICIES[name]
+    if cls in (TwoQPolicy, ARCPolicy):
+        return cls(capacity_hint=capacity_hint)
+    return cls()

@@ -1,0 +1,125 @@
+"""Background writeback threads (paper Section 3.2).
+
+Two wakeup causes, exactly as the paper specifies:
+
+1. Pressure: fewer than ``Low_f`` free DRAM blocks.  The thread reclaims
+   LRW victims until ``High_f`` blocks are free, then keeps scanning the
+   LRW list for dirty blocks last updated more than 30 s ago.
+2. Periodic: every 5 seconds it writes cold updated data back to NVMM.
+
+The task runs on its own virtual-time line (its flushes occupy NVMM
+writer slots, contending with foreground eager writes -- the effect
+Figure 9 attributes background traffic to).  When the foreground runs
+the buffer completely dry it calls :meth:`demand_reclaim` and *waits*,
+which is the only time writeback latency enters the critical path.
+"""
+
+from repro.engine.background import NEVER, BackgroundTask
+
+
+class WritebackTask(BackgroundTask):
+    """The lazily-advanced writeback timeline for one HiNFS instance."""
+
+    def __init__(self, env, hinfs):
+        super().__init__(env, "hinfs-writeback")
+        self.hinfs = hinfs
+        self.config = hinfs.hconfig
+        self._next_periodic_ns = self.config.periodic_interval_ns
+        self._pressure_ns = NEVER
+
+    # -- BackgroundTask interface ----------------------------------------
+
+    def next_due_ns(self):
+        return min(self._next_periodic_ns, self._pressure_ns)
+
+    def run_due(self, horizon_ns):
+        while self.next_due_ns() <= horizon_ns:
+            due = self.next_due_ns()
+            self.ctx.clock.advance_to(due)
+            if self._pressure_ns <= due:
+                self._pressure_ns = NEVER
+                if self.hinfs.buffer.free_blocks < self.config.high_blocks:
+                    self._reclaim_to_high()
+                self._journal_relief()
+                self._flush_aged()
+            if self._next_periodic_ns <= due:
+                self._next_periodic_ns += self.config.periodic_interval_ns
+                self._periodic_flush()
+
+    # -- signals ------------------------------------------------------------
+
+    def signal_pressure(self, now_ns):
+        """Foreground noticed free blocks < Low_f."""
+        if now_ns < self._pressure_ns:
+            self._pressure_ns = now_ns
+
+    def demand_reclaim(self, fg_ctx):
+        """The buffer is completely full: reclaim a batch *synchronously*.
+
+        The flusher's clock catches up to the foreground's, flushes a
+        batch of LRW victims (occupying NVMM writer slots), and the
+        foreground waits for completion -- the paper's foreground stall.
+        """
+        self.ctx.clock.advance_to(fg_ctx.now)
+        buffer = self.hinfs.buffer
+        victims = []
+        for block in buffer.all_blocks_lrw_order():
+            if len(victims) >= self.config.reclaim_batch:
+                break
+            victims.append(block)
+        self.hinfs.flush_blocks(self.ctx, victims, parallel=True)
+        self.env.stats.bump("writeback_demand_stalls")
+        self.env.stats.bump("writeback_demand_blocks", len(victims))
+        fg_ctx.sync_to(self.ctx.now)
+        # Let the background continue towards High_f off the critical path.
+        self.signal_pressure(fg_ctx.now)
+        return len(victims)
+
+    # -- work items -----------------------------------------------------------
+
+    def _reclaim_to_high(self):
+        buffer = self.hinfs.buffer
+        while not buffer.at_high_watermark:
+            victims = []
+            for block in buffer.all_blocks_lrw_order():
+                if len(victims) >= self.config.reclaim_batch:
+                    break
+                victims.append(block)
+            if not victims:
+                return
+            self.hinfs.flush_blocks(self.ctx, victims, parallel=True)
+            self.env.stats.bump("writeback_pressure_blocks", len(victims))
+
+    def _journal_relief(self):
+        """Close deferred-commit transactions before the journal ring has
+        to wrap, so the wrap barrier rarely stalls the foreground."""
+        journal = self.hinfs.journal
+        if journal.used_slots <= int(0.35 * journal.capacity):
+            return
+        victims = [block for block in self.hinfs.buffer.all_blocks_lrw_order()
+                   if block.pending_txs]
+        self.hinfs.flush_blocks(self.ctx, victims, parallel=True)
+        self.env.stats.bump("writeback_journal_relief_blocks", len(victims))
+
+    def _flush_aged(self):
+        """After reclaiming, flush any dirty block older than 30 s."""
+        now = self.ctx.now
+        victims = [
+            block for block in self.hinfs.buffer.all_blocks_lrw_order()
+            if block.is_dirty
+            and now - block.last_written_ns >= self.config.dirty_age_ns
+        ]
+        self.hinfs.flush_blocks(self.ctx, victims, parallel=True)
+        self.env.stats.bump("writeback_aged_blocks", len(victims))
+
+    def _periodic_flush(self):
+        """The 5-second wakeup: persist blocks that have gone cold (not
+        written for at least one full interval)."""
+        now = self.ctx.now
+        interval = self.config.periodic_interval_ns
+        victims = [
+            block for block in self.hinfs.buffer.all_blocks_lrw_order()
+            if block.is_dirty and now - block.last_written_ns >= interval
+        ]
+        self.hinfs.flush_blocks(self.ctx, victims, parallel=True)
+        self.env.stats.bump("writeback_periodic_blocks", len(victims))

@@ -1,0 +1,77 @@
+"""Lazily-advanced background timelines.
+
+HiNFS runs writeback threads that wake up periodically (every 5 s), on
+buffer pressure (fewer than ``Low_f`` free blocks), and to expire blocks
+dirty for more than 30 s.  In the reproduction these threads are
+*timelines*: objects with their own virtual clock whose due work is
+materialised whenever the foreground scheduler's minimum clock passes a
+due time, or synchronously when a foreground thread must wait for them
+(buffer exhaustion).  That is exactly the paper's semantics -- background
+work is off the critical path unless the buffer runs dry.
+"""
+
+from repro.engine.context import ExecContext
+from repro.engine.errors import SimulationError
+
+#: Returned by :meth:`BackgroundTask.next_due_ns` when the task has no
+#: scheduled work.
+NEVER = float("inf")
+
+
+class BackgroundTask:
+    """Base class for a background timeline with its own virtual clock."""
+
+    def __init__(self, env, name):
+        self.env = env
+        self.name = name
+        self.ctx = ExecContext(env, name)
+
+    def next_due_ns(self):
+        """Earliest virtual time at which this task has work to do."""
+        raise NotImplementedError
+
+    def run_due(self, horizon_ns):
+        """Perform all work due at or before ``horizon_ns``.
+
+        Implementations must guarantee forward progress: after returning,
+        ``next_due_ns()`` must be strictly greater than it was, or
+        ``NEVER``.
+        """
+        raise NotImplementedError
+
+
+class BackgroundRegistry:
+    """All background timelines attached to a simulation environment."""
+
+    # Safety valve against a task failing to make forward progress.
+    _MAX_ROUNDS = 1_000_000
+
+    def __init__(self):
+        self._tasks = []
+
+    def register(self, task):
+        self._tasks.append(task)
+        return task
+
+    def tasks(self):
+        return list(self._tasks)
+
+    def advance_to(self, horizon_ns):
+        """Run every task's work due at or before ``horizon_ns``."""
+        rounds = 0
+        while True:
+            due = [t for t in self._tasks if t.next_due_ns() <= horizon_ns]
+            if not due:
+                return
+            for task in sorted(due, key=lambda t: t.next_due_ns()):
+                before = task.next_due_ns()
+                task.run_due(horizon_ns)
+                after = task.next_due_ns()
+                if after <= before:
+                    raise SimulationError(
+                        "background task %r made no progress (due %r -> %r)"
+                        % (task.name, before, after)
+                    )
+            rounds += 1
+            if rounds > self._MAX_ROUNDS:
+                raise SimulationError("background registry livelock")

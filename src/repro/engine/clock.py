@@ -1,0 +1,65 @@
+"""Virtual nanosecond clocks.
+
+All simulated time in the reproduction is integer nanoseconds.  The paper's
+emulator injects delays measured with ``RDTSCP``; our equivalent is a
+monotonic virtual clock that each simulated thread advances as it pays for
+memory traffic, syscall overhead, and resource waits.
+"""
+
+from repro.engine.errors import ClockError
+
+NS_PER_USEC = 1_000
+NS_PER_MSEC = 1_000_000
+NS_PER_SEC = 1_000_000_000
+
+
+def format_ns(ns):
+    """Render a nanosecond quantity with a human-friendly unit.
+
+    >>> format_ns(1234)
+    '1.234us'
+    >>> format_ns(2_500_000_000)
+    '2.500s'
+    """
+    if ns >= NS_PER_SEC:
+        return "%.3fs" % (ns / NS_PER_SEC)
+    if ns >= NS_PER_MSEC:
+        return "%.3fms" % (ns / NS_PER_MSEC)
+    if ns >= NS_PER_USEC:
+        return "%.3fus" % (ns / NS_PER_USEC)
+    return "%dns" % ns
+
+
+class VirtualClock:
+    """A monotonic virtual clock measured in integer nanoseconds."""
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start_ns=0):
+        self._now = int(start_ns)
+
+    @property
+    def now(self):
+        """Current virtual time in nanoseconds."""
+        return self._now
+
+    def advance(self, delta_ns):
+        """Move the clock forward by ``delta_ns`` and return the new time."""
+        if delta_ns < 0:
+            raise ClockError("cannot advance clock by negative %d ns" % delta_ns)
+        self._now += int(delta_ns)
+        return self._now
+
+    def advance_to(self, target_ns):
+        """Move the clock forward to ``target_ns`` if it is in the future.
+
+        Moving to a time at or before ``now`` is a no-op; this makes the
+        clock safe to synchronise against resource-grant timestamps that
+        may already have passed.
+        """
+        if target_ns > self._now:
+            self._now = int(target_ns)
+        return self._now
+
+    def __repr__(self):
+        return "VirtualClock(%s)" % format_ns(self._now)

@@ -1,0 +1,38 @@
+"""Simulation environment: the bag of shared state for one run.
+
+A :class:`SimEnv` owns the statistics sink, the background-task registry,
+and any named timed resources (the NVMM device registers its writer-slot
+pool here).  Devices, file systems, workloads, and the scheduler all hang
+off one environment, so constructing a fresh ``SimEnv`` gives a fully
+isolated, reproducible run.
+"""
+
+from repro.engine.background import BackgroundRegistry
+from repro.engine.errors import SimulationError
+from repro.engine.resources import FCFSServers
+from repro.engine.stats import SimStats
+
+
+class SimEnv:
+    """Shared state for one simulation run."""
+
+    def __init__(self):
+        self.stats = SimStats()
+        self.background = BackgroundRegistry()
+        self._resources = {}
+
+    def add_resource(self, name, capacity):
+        if name in self._resources:
+            raise SimulationError("resource %r already registered" % name)
+        resource = FCFSServers(capacity, name=name)
+        self._resources[name] = resource
+        return resource
+
+    def resource(self, name):
+        try:
+            return self._resources[name]
+        except KeyError:
+            raise SimulationError("unknown resource %r" % name) from None
+
+    def has_resource(self, name):
+        return name in self._resources

@@ -1,0 +1,18 @@
+"""Exceptions raised by the simulation engine."""
+
+
+class SimulationError(Exception):
+    """Base class for engine-level failures."""
+
+
+class DeadlockError(SimulationError):
+    """Raised when every runnable simulated thread is blocked.
+
+    This indicates a modelling bug (for example a foreground thread
+    waiting on buffer space while no writeback timeline can make
+    progress), never a legitimate simulation outcome.
+    """
+
+
+class ClockError(SimulationError):
+    """Raised when a virtual clock would be moved backwards."""

@@ -1,0 +1,152 @@
+"""Timed shared resources with gap-aware FCFS reservation semantics.
+
+The paper models NVMM's limited write bandwidth by capping the number of
+concurrent NVMM-writing threads at ``N_w = B_nvmm * L_nvmm`` (Section 5.1:
+a writer queues when all slots are busy and is woken when one completes).
+:class:`FCFSServers` is the virtual-time version of that model: a fixed
+pool of servers, each holding a timeline of busy intervals, handing out
+the earliest feasible slice at or after the requested time.
+
+Timelines are *gap-aware*: a background writeback thread that has booked
+slot time far in the virtual future does not block a tiny foreground
+cacheline flush happening "now" -- the foreground request slots into the
+earlier gap, exactly as real hardware would interleave the streams.
+"""
+
+import bisect
+
+from repro.engine.errors import SimulationError
+
+#: Busy intervals kept per server; older ones are coalesced away.  All
+#: simulated clocks advance roughly together, so a deep history is never
+#: probed again.
+_MAX_INTERVALS = 128
+
+
+class Reservation:
+    """A granted slice of a timed resource."""
+
+    __slots__ = ("start_ns", "end_ns", "wait_ns")
+
+    def __init__(self, start_ns, end_ns, wait_ns):
+        self.start_ns = start_ns
+        self.end_ns = end_ns
+        self.wait_ns = wait_ns
+
+    @property
+    def duration_ns(self):
+        return self.end_ns - self.start_ns
+
+    def __repr__(self):
+        return "Reservation(start=%d, end=%d, wait=%d)" % (
+            self.start_ns,
+            self.end_ns,
+            self.wait_ns,
+        )
+
+
+class _ServerTimeline:
+    """Sorted, non-overlapping busy intervals of one server."""
+
+    __slots__ = ("starts", "ends")
+
+    def __init__(self):
+        self.starts = []
+        self.ends = []
+
+    def earliest_start(self, request_ns, duration_ns):
+        """Earliest t >= request_ns with [t, t+duration) free."""
+        starts, ends = self.starts, self.ends
+        n = len(starts)
+        # First interval that could conflict: the one before the request
+        # (it may still be running) onwards.
+        i = bisect.bisect_right(ends, request_ns)
+        candidate = request_ns
+        while i < n:
+            if candidate + duration_ns <= starts[i]:
+                return candidate
+            candidate = max(candidate, ends[i])
+            i += 1
+        return candidate
+
+    def book(self, start_ns, end_ns):
+        """Insert a busy interval (must not overlap existing ones)."""
+        i = bisect.bisect_left(self.starts, start_ns)
+        # Coalesce with neighbours when exactly adjacent.
+        if i > 0 and self.ends[i - 1] == start_ns:
+            self.ends[i - 1] = end_ns
+            if i < len(self.starts) and self.starts[i] == end_ns:
+                self.ends[i - 1] = self.ends[i]
+                del self.starts[i], self.ends[i]
+        elif i < len(self.starts) and self.starts[i] == end_ns:
+            self.starts[i] = start_ns
+        else:
+            self.starts.insert(i, start_ns)
+            self.ends.insert(i, end_ns)
+        if len(self.starts) > _MAX_INTERVALS:
+            # Merge the two oldest intervals (the gap between them is in
+            # the distant past of every clock).
+            self.ends[0] = self.ends[1]
+            del self.starts[1], self.ends[1]
+
+    def next_free(self):
+        return self.ends[-1] if self.ends else 0
+
+
+class FCFSServers:
+    """``capacity`` identical servers granting gap-aware reservations."""
+
+    def __init__(self, capacity, name="resource"):
+        if capacity < 1:
+            raise SimulationError("resource %r needs capacity >= 1" % name)
+        self.name = name
+        self.capacity = int(capacity)
+        self._servers = [_ServerTimeline() for _ in range(self.capacity)]
+        self.total_busy_ns = 0
+        self.total_wait_ns = 0
+        self.total_grants = 0
+
+    def reserve(self, request_ns, duration_ns):
+        """Grant ``duration_ns`` of exclusive server time at/after
+        ``request_ns`` on the server that can start earliest."""
+        if duration_ns < 0:
+            raise SimulationError("negative reservation on %r" % self.name)
+        request_ns = int(request_ns)
+        duration_ns = int(duration_ns)
+        best_server = None
+        best_start = None
+        for server in self._servers:
+            start = server.earliest_start(request_ns, duration_ns)
+            if best_start is None or start < best_start:
+                best_start = start
+                best_server = server
+                if start == request_ns:
+                    break  # cannot do better
+        end = best_start + duration_ns
+        if duration_ns > 0:
+            best_server.book(best_start, end)
+        wait = best_start - request_ns
+        self.total_busy_ns += duration_ns
+        self.total_wait_ns += wait
+        self.total_grants += 1
+        return Reservation(best_start, end, wait)
+
+    def earliest_free_ns(self):
+        """Earliest end-of-timeline across servers (legacy metric)."""
+        return min(server.next_free() for server in self._servers)
+
+    def utilisation(self, horizon_ns):
+        """Fraction of aggregate server time busy up to ``horizon_ns``."""
+        if horizon_ns <= 0:
+            return 0.0
+        return min(1.0, self.total_busy_ns / (horizon_ns * self.capacity))
+
+    def reset(self):
+        """Forget all reservations (used between benchmark repetitions)."""
+        self._servers = [_ServerTimeline() for _ in range(self.capacity)]
+        self.total_busy_ns = 0
+        self.total_wait_ns = 0
+        self.total_grants = 0
+
+    def __repr__(self):
+        return "FCFSServers(name=%r, capacity=%d)" % (self.name, self.capacity)

@@ -1,0 +1,107 @@
+"""Counters and time breakdowns collected during a simulation run.
+
+Two of the paper's figures are pure accounting artifacts:
+
+- Figure 1 breaks PMFS run time into *Read Access*, *Write Access*, and
+  *Others*; :class:`TimeBreakdown` accumulates exactly those categories.
+- Figure 12 breaks trace-replay time into per-syscall buckets (read,
+  write, unlink, fsync); the VFS layer records those through
+  :meth:`SimStats.add_syscall_time`.
+"""
+
+from collections import defaultdict
+
+from repro.engine.clock import format_ns
+
+# Canonical breakdown categories used by Figure 1.
+CAT_READ_ACCESS = "read_access"
+CAT_WRITE_ACCESS = "write_access"
+CAT_OTHERS = "others"
+
+
+class TimeBreakdown:
+    """Accumulates nanoseconds per category."""
+
+    def __init__(self):
+        self._ns = defaultdict(int)
+
+    def add(self, category, ns):
+        if ns:
+            self._ns[category] += int(ns)
+
+    def get(self, category):
+        return self._ns.get(category, 0)
+
+    def total(self):
+        return sum(self._ns.values())
+
+    def fractions(self):
+        """Return ``{category: fraction_of_total}`` (empty if no time)."""
+        total = self.total()
+        if total == 0:
+            return {}
+        return {cat: ns / total for cat, ns in self._ns.items()}
+
+    def as_dict(self):
+        return dict(self._ns)
+
+    def merge(self, other):
+        for cat, ns in other.as_dict().items():
+            self._ns[cat] += ns
+
+    def __repr__(self):
+        parts = ", ".join(
+            "%s=%s" % (cat, format_ns(ns)) for cat, ns in sorted(self._ns.items())
+        )
+        return "TimeBreakdown(%s)" % parts
+
+
+class SimStats:
+    """All statistics gathered during one simulation run."""
+
+    def __init__(self):
+        self.counters = defaultdict(int)
+        self.bytes_written_nvmm = 0
+        self.bytes_read_nvmm = 0
+        self.bytes_written_dram = 0
+        self.breakdown = TimeBreakdown()
+        self.syscall_time_ns = defaultdict(int)
+        self.syscall_counts = defaultdict(int)
+        self.ops_completed = 0
+
+    # -- counters -------------------------------------------------------
+
+    def bump(self, name, amount=1):
+        self.counters[name] += amount
+
+    def count(self, name):
+        return self.counters.get(name, 0)
+
+    # -- time accounting --------------------------------------------------
+
+    def add_time(self, category, ns):
+        self.breakdown.add(category, ns)
+
+    def add_syscall_time(self, syscall, ns):
+        self.syscall_time_ns[syscall] += int(ns)
+        self.syscall_counts[syscall] += 1
+
+    # -- reporting ------------------------------------------------------
+
+    def throughput_ops_per_sec(self, elapsed_ns):
+        if elapsed_ns <= 0:
+            return 0.0
+        return self.ops_completed * 1e9 / elapsed_ns
+
+    def summary(self):
+        """A plain-dict snapshot suitable for printing or asserting on."""
+        return {
+            "ops_completed": self.ops_completed,
+            "bytes_written_nvmm": self.bytes_written_nvmm,
+            "bytes_read_nvmm": self.bytes_read_nvmm,
+            "bytes_written_dram": self.bytes_written_dram,
+            "breakdown": self.breakdown.as_dict(),
+            "syscall_time_ns": dict(self.syscall_time_ns),
+            "syscall_counts": dict(self.syscall_counts),
+            "counters": dict(self.counters),
+        }

@@ -1,0 +1,47 @@
+"""File systems of the reproduction.
+
+Five concrete file systems, matching the paper's Table 3 plus HiNFS:
+
+- :mod:`repro.fs.pmfs` -- PMFS: direct access to NVMM, cacheline-granular
+  metadata undo journal (the paper's primary baseline; HiNFS is built on
+  top of its structures).
+- :mod:`repro.fs.ext4dax` -- EXT4 with the DAX patch: direct data access,
+  cache-oriented journaled metadata.
+- :mod:`repro.fs.extfs` -- EXT2/EXT4 on the NVMMBD block-device emulator,
+  going through the page cache and the generic block layer.
+- :mod:`repro.core` -- HiNFS itself (the paper's contribution).
+
+All of them sit under :class:`repro.fs.vfs.VFS`, the syscall surface that
+workloads drive.
+"""
+
+from repro.fs.base import FileSystem
+from repro.fs.errors import (
+    FSError,
+    BadFileDescriptor,
+    ExistsError,
+    IsADirectory,
+    NoSpace,
+    NotADirectory,
+    NotFound,
+)
+from repro.fs.flags import O_CREAT, O_RDONLY, O_RDWR, O_SYNC, O_TRUNC, O_WRONLY
+from repro.fs.vfs import VFS
+
+__all__ = [
+    "BadFileDescriptor",
+    "ExistsError",
+    "FSError",
+    "FileSystem",
+    "IsADirectory",
+    "NoSpace",
+    "NotADirectory",
+    "NotFound",
+    "O_CREAT",
+    "O_RDONLY",
+    "O_RDWR",
+    "O_SYNC",
+    "O_TRUNC",
+    "O_WRONLY",
+    "VFS",
+]

@@ -1,0 +1,111 @@
+"""The inode-level interface every concrete file system implements.
+
+The :class:`repro.fs.vfs.VFS` handles paths, file descriptors, and
+syscall-overhead accounting, then calls into this interface.  Inode
+numbers are opaque positive integers; inode 1 is always the root
+directory.
+"""
+
+ROOT_INO = 1
+
+S_IFREG = 1
+S_IFDIR = 2
+
+
+class FileStat:
+    """stat(2)-style attributes returned by :meth:`FileSystem.getattr`."""
+
+    __slots__ = ("ino", "kind", "size", "nlink", "mtime_ns", "ctime_ns")
+
+    def __init__(self, ino, kind, size, nlink=1, mtime_ns=0, ctime_ns=0):
+        self.ino = ino
+        self.kind = kind
+        self.size = size
+        self.nlink = nlink
+        self.mtime_ns = mtime_ns
+        self.ctime_ns = ctime_ns
+
+    @property
+    def is_dir(self):
+        return self.kind == S_IFDIR
+
+    def __repr__(self):
+        return "FileStat(ino=%d, kind=%d, size=%d)" % (self.ino, self.kind, self.size)
+
+
+class FileSystem:
+    """Abstract inode-level file system.
+
+    Every method takes the calling simulated thread's ``ctx`` first and
+    charges all media and software costs to it.  Implementations must be
+    functionally correct (reads return the newest written bytes).
+    """
+
+    name = "abstract"
+
+    # -- namespace ------------------------------------------------------
+
+    def lookup(self, ctx, parent_ino, name):
+        """Return the inode number for ``name`` in directory ``parent_ino``
+        or ``None`` when absent."""
+        raise NotImplementedError
+
+    def create_file(self, ctx, parent_ino, name):
+        """Create an empty regular file; returns the new inode number."""
+        raise NotImplementedError
+
+    def mkdir(self, ctx, parent_ino, name):
+        """Create a directory; returns the new inode number."""
+        raise NotImplementedError
+
+    def unlink(self, ctx, parent_ino, name, ino):
+        """Remove a regular file."""
+        raise NotImplementedError
+
+    def rmdir(self, ctx, parent_ino, name, ino):
+        """Remove an (empty) directory."""
+        raise NotImplementedError
+
+    def readdir(self, ctx, ino):
+        """Return a list of ``(name, ino)`` pairs."""
+        raise NotImplementedError
+
+    def getattr(self, ctx, ino):
+        """Return a :class:`FileStat`."""
+        raise NotImplementedError
+
+    # -- file I/O ---------------------------------------------------------
+
+    def read(self, ctx, ino, offset, count):
+        """Return up to ``count`` bytes from ``offset`` (short at EOF)."""
+        raise NotImplementedError
+
+    def write(self, ctx, ino, offset, data, eager=False):
+        """Write ``data`` at ``offset``.
+
+        ``eager=True`` requests synchronous persistence (O_SYNC / sync
+        mount): the bytes must be durable when the call returns.  Returns
+        the number of bytes written.
+        """
+        raise NotImplementedError
+
+    def fsync(self, ctx, ino):
+        """Make all of the inode's data and metadata durable."""
+        raise NotImplementedError
+
+    def truncate(self, ctx, ino, new_size):
+        """Grow or shrink the file to ``new_size`` bytes."""
+        raise NotImplementedError
+
+    # -- lifecycle --------------------------------------------------------
+
+    def unmount(self, ctx):
+        """Flush all volatile state (HiNFS flushes its DRAM buffer here)."""
+
+    def drop_caches(self):
+        """Discard clean cached state (the paper clears the OS page cache
+        before every measured run).  Flush first via :meth:`unmount`."""
+
+    def free_data_bytes(self, ctx):
+        """Remaining data capacity, for workload sizing (optional)."""
+        return None

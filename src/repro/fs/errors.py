@@ -1,0 +1,41 @@
+"""File-system error hierarchy (errno-style)."""
+
+
+class FSError(Exception):
+    """Base class for all file-system errors."""
+
+
+class NotFound(FSError):
+    """ENOENT: path or inode does not exist."""
+
+
+class ExistsError(FSError):
+    """EEXIST: attempt to create something that already exists."""
+
+
+class NotADirectory(FSError):
+    """ENOTDIR: a path component is not a directory."""
+
+
+class IsADirectory(FSError):
+    """EISDIR: file operation applied to a directory."""
+
+
+class BadFileDescriptor(FSError):
+    """EBADF: unknown, closed, or wrongly-opened file descriptor."""
+
+
+class NoSpace(FSError):
+    """ENOSPC: the device ran out of blocks or inodes."""
+
+
+class InvalidArgument(FSError):
+    """EINVAL: malformed offset, count, or flag combination."""
+
+
+class NotEmpty(FSError):
+    """ENOTEMPTY: directory removal with remaining entries."""
+
+
+class ReadOnly(FSError):
+    """EROFS / EBADF for writes: descriptor not opened for writing."""

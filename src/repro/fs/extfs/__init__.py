@@ -1,0 +1,14 @@
+"""EXT2/EXT4 on the NVMMBD block device (the paper's Table 3 baselines).
+
+These are *performance models* of the traditional block-based stack: the
+data path is fully real (pages hold real bytes, reads return what was
+written), the double-copy and generic-block-layer costs are charged
+exactly where Figure 3(a) places them, and EXT4 adds a jbd2-style
+ordered-mode journal.  Unlike PMFS/HiNFS they are not crash-consistency
+subjects in this reproduction (the paper never crashes them either).
+"""
+
+from repro.fs.extfs.extfs import Ext2, Ext4
+from repro.fs.extfs.jbd2 import JBD2Journal
+
+__all__ = ["Ext2", "Ext4", "JBD2Journal"]

@@ -1,0 +1,21 @@
+"""open(2)-style flags used by the VFS syscall surface."""
+
+O_RDONLY = 0x0
+O_WRONLY = 0x1
+O_RDWR = 0x2
+O_CREAT = 0x40
+O_TRUNC = 0x200
+O_APPEND = 0x400
+#: Synchronous writes: every write is an eager-persistent write
+#: (the paper's case (1) in Section 3.3.2).
+O_SYNC = 0x1000
+
+_ACCESS_MASK = 0x3
+
+
+def readable(flags):
+    return (flags & _ACCESS_MASK) in (O_RDONLY, O_RDWR)
+
+
+def writable(flags):
+    return (flags & _ACCESS_MASK) in (O_WRONLY, O_RDWR)

@@ -1,0 +1,21 @@
+"""PMFS: the direct-access NVMM file system (Dulloor et al., EuroSys'14).
+
+The paper's primary baseline, reimplemented from its published design
+points, because HiNFS "shares the file system data structures of PMFS"
+(Section 4) and is evaluated against it:
+
+- all data copies go directly between the user buffer and NVMM using
+  non-temporal stores (no page cache, no block layer);
+- metadata updates are made consistent with a cacheline-granular undo
+  journal whose entries carry a valid flag written in the same cacheline
+  (crash-atomic by the architectural same-line ordering guarantee);
+- per-file block maps use direct/indirect/double-indirect pointer blocks
+  in NVMM (the published PMFS uses a B-tree; the paper itself argues in
+  Section 3.2 that the index structure choice is immaterial next to copy
+  costs, and our DRAM Block Index for HiNFS *is* a B-tree).
+"""
+
+from repro.fs.pmfs.journal import Journal, JournalFullError, Transaction
+from repro.fs.pmfs.pmfs import PMFS
+
+__all__ = ["Journal", "JournalFullError", "PMFS", "Transaction"]

@@ -1,0 +1,192 @@
+"""Per-file block map: direct / indirect / double-indirect pointers.
+
+The NVMM pointer blocks are the source of truth; a DRAM mirror
+(``file_block -> nvmm_block``) keeps lookups O(1), exactly as the kernel
+caches mapping state.  Every pointer mutation is an 8-byte journaled
+write, so a torn operation rolls back cleanly.
+"""
+
+import struct
+
+from repro.fs.errors import InvalidArgument
+from repro.fs.pmfs.inodes import CORE_SIZE
+from repro.fs.pmfs.layout import (
+    MAX_FILE_BLOCKS,
+    N_DIRECT,
+    PTRS_PER_BLOCK,
+    block_addr,
+)
+
+_PTR = struct.Struct("<Q")
+
+
+class BlockMap:
+    """Block mapping for one inode."""
+
+    def __init__(self, device, journal, inode_table, inode, balloc):
+        self.device = device
+        self.journal = journal
+        self.itable = inode_table
+        self.inode = inode
+        self.balloc = balloc
+        # file block index -> nvmm block (holes absent)
+        self._mirror = {}
+        # file of L2 pointer blocks: index in dindirect L1 -> nvmm block
+        self._l2_blocks = {}
+
+    # -- lookup -----------------------------------------------------------
+
+    def get(self, file_block):
+        """NVMM block for ``file_block`` or ``None`` for a hole."""
+        return self._mirror.get(file_block)
+
+    def mapped_blocks(self):
+        """All (file_block, nvmm_block) pairs."""
+        return list(self._mirror.items())
+
+    def block_count(self):
+        return len(self._mirror)
+
+    # -- pointer slot resolution ----------------------------------------------
+
+    def _pointer_addr(self, ctx, tx, file_block):
+        """NVMM address of the 8-byte pointer slot for ``file_block``,
+        allocating intermediate pointer blocks as needed."""
+        if file_block < 0 or file_block >= MAX_FILE_BLOCKS:
+            raise InvalidArgument("file block %d beyond max map" % file_block)
+        core = self.itable.core_addr(self.inode.ino)
+        if file_block < N_DIRECT:
+            return core + CORE_SIZE + file_block * 8
+        file_block -= N_DIRECT
+        if file_block < PTRS_PER_BLOCK:
+            ind = self._ensure_indirect(ctx, tx)
+            return block_addr(ind) + file_block * 8
+        file_block -= PTRS_PER_BLOCK
+        l1_index, l2_index = divmod(file_block, PTRS_PER_BLOCK)
+        l2 = self._ensure_l2(ctx, tx, l1_index)
+        return block_addr(l2) + l2_index * 8
+
+    def _zero_fresh_block(self, block):
+        """New pointer blocks must read as holes (data plane; charged to
+        the allocation's journaled pointer write)."""
+        self.device.mem.write_nocache(block_addr(block), b"\0" * 4096)
+
+    def _ensure_indirect(self, ctx, tx):
+        if self.inode.indirect == 0:
+            block = self.balloc.alloc()
+            self._zero_fresh_block(block)
+            self.inode.indirect = block
+            self.journal.journaled_write(
+                ctx,
+                tx,
+                self.itable.core_addr(self.inode.ino) + CORE_SIZE + N_DIRECT * 8,
+                _PTR.pack(block),
+            )
+        return self.inode.indirect
+
+    def _ensure_l2(self, ctx, tx, l1_index):
+        if self.inode.dindirect == 0:
+            block = self.balloc.alloc()
+            self._zero_fresh_block(block)
+            self.inode.dindirect = block
+            self.journal.journaled_write(
+                ctx,
+                tx,
+                self.itable.core_addr(self.inode.ino) + CORE_SIZE + (N_DIRECT + 1) * 8,
+                _PTR.pack(block),
+            )
+        l2 = self._l2_blocks.get(l1_index)
+        if l2 is None:
+            block = self.balloc.alloc()
+            self._zero_fresh_block(block)
+            self._l2_blocks[l1_index] = block
+            self.journal.journaled_write(
+                ctx,
+                tx,
+                block_addr(self.inode.dindirect) + l1_index * 8,
+                _PTR.pack(block),
+            )
+            l2 = block
+        return l2
+
+    # -- mutation -----------------------------------------------------------
+
+    def set(self, ctx, tx, file_block, nvmm_block):
+        """Map ``file_block`` to ``nvmm_block`` (journaled)."""
+        slot = self._pointer_addr(ctx, tx, file_block)
+        self.journal.journaled_write(ctx, tx, slot, _PTR.pack(nvmm_block))
+        self._mirror[file_block] = nvmm_block
+        if file_block < N_DIRECT:
+            # Keep the DRAM inode's direct[] mirror coherent, so a later
+            # write_pointers (e.g. drop_all) never resurrects stale slots.
+            self.inode.direct[file_block] = nvmm_block
+
+    def clear(self, ctx, tx, file_block):
+        """Unmap ``file_block`` (journaled); returns the freed NVMM block."""
+        nvmm_block = self._mirror.pop(file_block, None)
+        if nvmm_block is None:
+            return None
+        slot = self._pointer_addr(ctx, tx, file_block)
+        self.journal.journaled_write(ctx, tx, slot, _PTR.pack(0))
+        if file_block < N_DIRECT:
+            self.inode.direct[file_block] = 0
+        return nvmm_block
+
+    def drop_all(self, ctx, tx):
+        """Unmap everything; returns every freed block (data + pointer).
+
+        Only the 112-byte in-inode pointer area needs journaling: once the
+        root pointers are zero, the old indirect blocks are unreachable.
+        """
+        freed = list(self._mirror.values())
+        if self.inode.indirect:
+            freed.append(self.inode.indirect)
+        if self.inode.dindirect:
+            freed.append(self.inode.dindirect)
+        freed.extend(self._l2_blocks.values())
+        self._mirror.clear()
+        self._l2_blocks.clear()
+        self.inode.direct = [0] * N_DIRECT
+        self.inode.indirect = 0
+        self.inode.dindirect = 0
+        self.itable.write_pointers(ctx, tx, self.inode)
+        return freed
+
+    # -- recovery -----------------------------------------------------------
+
+    def load_from_nvmm(self):
+        """Rebuild the mirror by walking the persistent pointers."""
+        self._mirror.clear()
+        self._l2_blocks.clear()
+        for i, ptr in enumerate(self.inode.direct):
+            if ptr:
+                self._mirror[i] = ptr
+        if self.inode.indirect:
+            raw = self.device.mem.read(block_addr(self.inode.indirect), 4096)
+            for i in range(PTRS_PER_BLOCK):
+                (ptr,) = _PTR.unpack_from(raw, i * 8)
+                if ptr:
+                    self._mirror[N_DIRECT + i] = ptr
+        if self.inode.dindirect:
+            l1 = self.device.mem.read(block_addr(self.inode.dindirect), 4096)
+            for i in range(PTRS_PER_BLOCK):
+                (l2,) = _PTR.unpack_from(l1, i * 8)
+                if not l2:
+                    continue
+                self._l2_blocks[i] = l2
+                raw = self.device.mem.read(block_addr(l2), 4096)
+                base = N_DIRECT + PTRS_PER_BLOCK + i * PTRS_PER_BLOCK
+                for j in range(PTRS_PER_BLOCK):
+                    (ptr,) = _PTR.unpack_from(raw, j * 8)
+                    if ptr:
+                        self._mirror[base + j] = ptr
+
+    def all_physical_blocks(self):
+        """Every NVMM block this map pins (data + pointer blocks)."""
+        blocks = list(self._mirror.values())
+        if self.inode.indirect:
+            blocks.append(self.inode.indirect)
+        if self.inode.dindirect:
+            blocks.append(self.inode.dindirect)
+        blocks.extend(self._l2_blocks.values())
+        return blocks

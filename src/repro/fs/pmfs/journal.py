@@ -1,0 +1,263 @@
+"""Cacheline-granular undo journal (PMFS-style, reused by HiNFS).
+
+Every journal entry is exactly one 64-byte cacheline carrying a
+generation stamp, so the architectural guarantee that stores within one
+cacheline are never reordered makes each entry crash-atomic (paper,
+Section 4.1).
+
+Protocol (undo logging):
+
+1. ``begin`` opens a transaction.
+2. For every metadata range about to change, ``journaled_write`` first
+   appends undo entries holding the *old* bytes (entry write + clflush),
+   then mutates the metadata in place (cached store + clflush).
+3. ``commit`` appends a COMMIT entry, flushes, and fences.
+
+Recovery scans the ring; transactions of the current generation without
+a COMMIT entry are rolled back by re-applying their undo images in
+reverse order.
+
+Ring recycling is epoch-based: a 64-byte header cacheline at the start
+of the journal region holds the current generation; wrapping the ring
+bumps the generation (one journaled header write), which atomically
+invalidates every stale entry -- no bulk zeroing, matching PMFS's cheap
+log-space reclamation.  Before a wrap every still-open transaction must
+be closed, because its old-generation entries are about to be
+invalidated; HiNFS's wrap barrier forces writeback of the buffered data
+blocks those deferred commits are waiting on.
+
+HiNFS difference (Section 4.1): for lazy-persistent writes the COMMIT
+entry is *deferred* until the buffered DRAM data blocks of the
+transaction have been written back to NVMM, preserving the ordered-mode
+invariant (data persists before the metadata that references it).
+"""
+
+import struct
+
+from repro.engine.stats import CAT_OTHERS
+from repro.fs.pmfs.layout import block_addr
+from repro.nvmm.config import CACHELINE_SIZE
+
+ENTRY_MAGIC = b"JNL!"
+HEADER_MAGIC = b"JHDR"
+ENTRY_SIZE = CACHELINE_SIZE
+#: magic, tx_id, kind, gen, len, addr, payload
+ENTRY_FMT = "<4sQBBHQ40s"
+ENTRY_PAYLOAD_MAX = 40
+assert struct.calcsize(ENTRY_FMT) == ENTRY_SIZE
+
+#: magic, generation (header cacheline at the start of the ring)
+HEADER_FMT = "<4sQ"
+
+KIND_UNDO = 1
+KIND_COMMIT = 2
+
+#: Generations cycle in [1, 255]; 0 marks a never-written slot.  A stale
+#: entry could only alias after 255 consecutive wraps without being
+#: overwritten, which the reserve headroom makes impossible.
+GEN_MODULUS = 255
+
+
+class JournalFullError(Exception):
+    """A single transaction exceeded the journal ring capacity."""
+
+
+class Transaction:
+    """An open journal transaction."""
+
+    __slots__ = ("tx_id", "open", "entries")
+
+    def __init__(self, tx_id):
+        self.tx_id = tx_id
+        self.open = True
+        self.entries = 0
+
+    def __repr__(self):
+        return "Transaction(id=%d, open=%s, entries=%d)" % (
+            self.tx_id,
+            self.open,
+            self.entries,
+        )
+
+
+class Journal:
+    """The undo-journal ring in a reserved NVMM region."""
+
+    def __init__(self, env, device, sb, config):
+        self.env = env
+        self.device = device
+        self.config = config
+        self.base_addr = block_addr(sb.journal_start)
+        # Slot 0 of the region is the generation header.
+        self.capacity = sb.journal_blocks * (4096 // ENTRY_SIZE) - 1
+        #: Headroom kept free so a transaction never has to recycle the
+        #: ring mid-append (which would invalidate its own undo entries).
+        #: Every transaction writes at least one entry before its commit,
+        #: so half the ring is always enough for the deferred commits.
+        self.reserve_slots = max(64, self.capacity // 2)
+        self._head = 0
+        self._next_tx_id = 1
+        self._open_txs = {}
+        self.gen = self._read_header_gen()
+        if self.gen == 0:
+            self.gen = 1
+            self._write_header_raw()
+        #: Called before the ring is recycled; must close every open
+        #: transaction (HiNFS forces writeback of pending data blocks).
+        self.wrap_barrier = None
+
+    # -- header -----------------------------------------------------------
+
+    def _read_header_gen(self):
+        raw = self.device.mem.read(self.base_addr, ENTRY_SIZE)
+        magic, gen = struct.unpack_from(HEADER_FMT, raw)
+        return gen if magic == HEADER_MAGIC else 0
+
+    def _header_bytes(self):
+        return struct.pack(HEADER_FMT, HEADER_MAGIC, self.gen).ljust(
+            ENTRY_SIZE, b"\0"
+        )
+
+    def _write_header_raw(self):
+        """Initial (mkfs-time) header write: data plane only."""
+        self.device.mem.write_nocache(self.base_addr, self._header_bytes())
+
+    def _write_header(self, ctx):
+        self.device.write_cached(ctx, self.base_addr, self._header_bytes(),
+                                 CAT_OTHERS)
+        self.device.clflush(ctx, self.base_addr, ENTRY_SIZE, CAT_OTHERS)
+        self.device.fence(ctx)
+
+    def _slot_addr(self, slot):
+        return self.base_addr + (slot + 1) * ENTRY_SIZE
+
+    # -- transactions -----------------------------------------------------
+
+    def begin(self, ctx):
+        if self._head > self.capacity - self.reserve_slots:
+            self._wrap(ctx)
+        tx = Transaction(self._next_tx_id)
+        self._next_tx_id += 1
+        self._open_txs[tx.tx_id] = tx
+        return tx
+
+    def log_undo(self, ctx, tx, addr, length):
+        """Capture the current bytes of ``[addr, addr+length)`` as undo."""
+        if not tx.open:
+            raise ValueError("transaction %d already closed" % tx.tx_id)
+        offset = 0
+        while offset < length:
+            take = min(ENTRY_PAYLOAD_MAX, length - offset)
+            old = self.device.mem.read(addr + offset, take)
+            self._append(ctx, tx, KIND_UNDO, addr + offset, old)
+            offset += take
+
+    def journaled_write(self, ctx, tx, addr, new_bytes):
+        """Undo-log then mutate a metadata range in place (flushed)."""
+        new_bytes = bytes(new_bytes)
+        self.log_undo(ctx, tx, addr, len(new_bytes))
+        self.device.write_cached(ctx, addr, new_bytes, CAT_OTHERS)
+        self.device.clflush(ctx, addr, len(new_bytes), CAT_OTHERS)
+
+    def commit(self, ctx, tx):
+        """Append the COMMIT entry; the transaction becomes durable."""
+        if not tx.open:
+            raise ValueError("transaction %d already closed" % tx.tx_id)
+        self._append(ctx, tx, KIND_COMMIT, 0, b"")
+        self.device.fence(ctx)
+        tx.open = False
+        self._open_txs.pop(tx.tx_id, None)
+
+    @property
+    def open_transactions(self):
+        return len(self._open_txs)
+
+    @property
+    def used_slots(self):
+        return self._head
+
+    # -- ring management --------------------------------------------------
+
+    def _append(self, ctx, tx, kind, addr, payload):
+        if self._head >= self.capacity:
+            raise JournalFullError(
+                "transaction %d overran the journal reserve" % tx.tx_id
+            )
+        entry = struct.pack(
+            ENTRY_FMT,
+            ENTRY_MAGIC,
+            tx.tx_id,
+            kind,
+            self.gen,
+            len(payload),
+            addr,
+            payload.ljust(ENTRY_PAYLOAD_MAX, b"\0"),
+        )
+        # One cacheline: write, flush, fence -- the entry (including its
+        # generation stamp) becomes persistent atomically.
+        slot_addr = self._slot_addr(self._head)
+        self.device.write_cached(ctx, slot_addr, entry, CAT_OTHERS)
+        self.device.clflush(ctx, slot_addr, ENTRY_SIZE, CAT_OTHERS)
+        self.device.fence(ctx)
+        self._head += 1
+        tx.entries += 1
+
+    def _wrap(self, ctx):
+        """Recycle the ring: close stragglers, bump the generation."""
+        if self._open_txs:
+            if self.wrap_barrier is None:
+                raise JournalFullError(
+                    "journal wrapped with %d open transactions"
+                    % len(self._open_txs)
+                )
+            self.wrap_barrier(ctx)
+            if self._open_txs:
+                raise JournalFullError("wrap barrier left transactions open")
+        self.gen = self.gen % GEN_MODULUS + 1
+        self._write_header(ctx)
+        self._head = 0
+        self.env.stats.bump("journal_wraps")
+
+    # -- recovery -----------------------------------------------------------
+
+    def scan(self):
+        """Parse every current-generation entry (data-plane only).
+
+        Returns ``{tx_id: {"undo": [(addr, bytes), ...], "committed": bool}}``
+        in append order.
+        """
+        current_gen = self._read_header_gen()
+        transactions = {}
+        for slot in range(self.capacity):
+            raw = self.device.mem.read(self._slot_addr(slot), ENTRY_SIZE)
+            magic, tx_id, kind, gen, length, addr, payload = struct.unpack(
+                ENTRY_FMT, raw
+            )
+            if magic != ENTRY_MAGIC or gen != current_gen:
+                continue
+            record = transactions.setdefault(
+                tx_id, {"undo": [], "committed": False}
+            )
+            if kind == KIND_COMMIT:
+                record["committed"] = True
+            elif kind == KIND_UNDO:
+                record["undo"].append((addr, payload[:length]))
+        return transactions
+
+    def recover(self, ctx):
+        """Roll back uncommitted transactions; returns how many."""
+        rolled_back = 0
+        for tx_id, record in sorted(self.scan().items()):
+            if record["committed"]:
+                continue
+            for addr, old in reversed(record["undo"]):
+                self.device.write_cached(ctx, addr, old, CAT_OTHERS)
+                self.device.clflush(ctx, addr, len(old), CAT_OTHERS)
+            self.device.fence(ctx)
+            rolled_back += 1
+        # Invalidate the whole ring by starting a fresh generation.
+        self.gen = self._read_header_gen() % GEN_MODULUS + 1
+        self._write_header(ctx)
+        self._head = 0
+        self._open_txs.clear()
+        return rolled_back

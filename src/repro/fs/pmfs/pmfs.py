@@ -1,0 +1,328 @@
+"""PMFS proper: direct access between the user buffer and NVMM.
+
+Every write is copied user-buffer -> NVMM with non-temporal stores and is
+durable on return (there is no volatile data path at all); every read is
+copied NVMM -> user buffer.  Metadata changes run through the undo
+journal.  This is the behaviour the paper's Figure 1 profiles and
+Figures 7-13 use as the baseline.
+"""
+
+from repro.engine.stats import CAT_OTHERS
+from repro.fs.base import FileStat, FileSystem, ROOT_INO, S_IFDIR, S_IFREG
+from repro.fs.errors import IsADirectory, NoSpace, NotADirectory, NotEmpty, NotFound
+from repro.fs.pmfs.blockmap import BlockMap
+from repro.fs.pmfs.dirents import Directory
+from repro.fs.pmfs.inodes import InodeTable, KIND_DIR, KIND_FILE
+from repro.fs.pmfs.journal import Journal
+from repro.fs.pmfs.layout import Superblock, block_addr
+from repro.nvmm.allocator import BlockAllocator, OutOfSpaceError
+from repro.nvmm.config import BLOCK_SIZE
+
+
+class PMFS(FileSystem):
+    """The direct-access baseline file system."""
+
+    name = "pmfs"
+
+    def __init__(self, env, device, config, journal_blocks=256, inode_count=None,
+                 _skip_format=False):
+        self.env = env
+        self.device = device
+        self.config = config
+        total_blocks = device.size // BLOCK_SIZE
+        if _skip_format:
+            self.sb = Superblock.unpack(device.mem.read(0, 4096))
+        else:
+            self.sb = Superblock.compute(total_blocks, journal_blocks, inode_count)
+        self.journal = Journal(env, device, self.sb, config)
+        self.itable = InodeTable(device, self.journal, self.sb)
+        self.balloc = BlockAllocator(
+            self.sb.total_blocks - self.sb.data_start, first_block=self.sb.data_start
+        )
+        self._maps = {}
+        self._dirs = {}
+        if not _skip_format:
+            self._mkfs()
+
+    # -- formatting / mounting ---------------------------------------------
+
+    def _mkfs(self):
+        """Write the superblock and the root directory (data plane only --
+        formatting happens before the measured run)."""
+        self.device.mem.write_nocache(0, self.sb.pack())
+        mkfs_ctx = _FreeContext(self.env)
+        tx = self.journal.begin(mkfs_ctx)
+        root = self.itable.alloc(mkfs_ctx, tx, KIND_DIR, 0)
+        assert root.ino == ROOT_INO
+        self.journal.commit(mkfs_ctx, tx)
+        self.device.mem.flush_all()
+
+    @classmethod
+    def mount(cls, env, device, config, **kwargs):
+        """Mount an existing image: run journal recovery, rebuild DRAM state.
+
+        This is the crash-recovery entry point: after ``device.crash()``,
+        ``mount`` must produce a consistent file system.
+        """
+        fs = cls(env, device, config, _skip_format=True, **kwargs)
+        ctx = _FreeContext(env)
+        fs.journal.recover(ctx)
+        fs._rebuild_from_nvmm()
+        return fs
+
+    def _rebuild_from_nvmm(self):
+        self.itable.load_from_nvmm()
+        self._maps.clear()
+        self._dirs.clear()
+        for inode in self.itable.live_inodes():
+            blockmap = self._map(inode.ino)
+            blockmap.load_from_nvmm()
+            for block in blockmap.all_physical_blocks():
+                self.balloc.mark_allocated(block)
+            if inode.is_dir:
+                self._dir(inode.ino).load_from_nvmm()
+
+    # -- internal handles ---------------------------------------------------
+
+    def _inode(self, ino):
+        inode = self.itable.get(ino)
+        if inode is None:
+            raise NotFound("inode %d" % ino)
+        return inode
+
+    def _map(self, ino):
+        blockmap = self._maps.get(ino)
+        if blockmap is None:
+            blockmap = BlockMap(
+                self.device, self.journal, self.itable, self._inode(ino), self.balloc
+            )
+            self._maps[ino] = blockmap
+        return blockmap
+
+    def _dir(self, ino):
+        directory = self._dirs.get(ino)
+        if directory is None:
+            inode = self._inode(ino)
+            if not inode.is_dir:
+                raise NotADirectory("inode %d" % ino)
+            directory = Directory(self.device, self.journal, self._map(ino), inode)
+            self._dirs[ino] = directory
+        return directory
+
+    def _alloc_data_block(self):
+        try:
+            return self.balloc.alloc()
+        except OutOfSpaceError:
+            raise NoSpace("NVMM device full") from None
+
+    # -- namespace ------------------------------------------------------
+
+    def lookup(self, ctx, parent_ino, name):
+        return self._dir(parent_ino).lookup(name)
+
+    def _create(self, ctx, parent_ino, name, kind):
+        directory = self._dir(parent_ino)
+        tx = self.journal.begin(ctx)
+        inode = self.itable.alloc(ctx, tx, kind, ctx.now)
+        directory.add(ctx, tx, name, inode.ino)
+        self.itable.write_core(ctx, tx, directory.inode)
+        self.journal.commit(ctx, tx)
+        return inode.ino
+
+    def create_file(self, ctx, parent_ino, name):
+        return self._create(ctx, parent_ino, name, KIND_FILE)
+
+    def mkdir(self, ctx, parent_ino, name):
+        return self._create(ctx, parent_ino, name, KIND_DIR)
+
+    def unlink(self, ctx, parent_ino, name, ino):
+        inode = self._inode(ino)
+        if inode.is_dir:
+            raise IsADirectory(name)
+        self._release(ctx, parent_ino, name, inode)
+
+    def rmdir(self, ctx, parent_ino, name, ino):
+        inode = self._inode(ino)
+        if not inode.is_dir:
+            raise NotADirectory(name)
+        if len(self._dir(ino)) > 0:
+            raise NotEmpty(name)
+        self._release(ctx, parent_ino, name, inode)
+
+    def _release(self, ctx, parent_ino, name, inode):
+        """Shared unlink/rmdir tail: drop the dirent, the inode, the blocks."""
+        self.on_release(ctx, inode.ino)
+        directory = self._dir(parent_ino)
+        tx = self.journal.begin(ctx)
+        directory.remove(ctx, tx, name)
+        blockmap = self._maps.pop(inode.ino, None)
+        if blockmap is not None:
+            freed = blockmap.drop_all(ctx, tx)
+        else:
+            scratch = BlockMap(
+                self.device, self.journal, self.itable, inode, self.balloc
+            )
+            scratch.load_from_nvmm()
+            freed = scratch.drop_all(ctx, tx)
+        self.itable.free(ctx, tx, inode)
+        self.journal.commit(ctx, tx)
+        self.balloc.free_many(freed)
+        self._dirs.pop(inode.ino, None)
+
+    def on_release(self, ctx, ino):
+        """Hook called before an inode is freed (HiNFS discards its
+        buffered blocks here, completing any deferred commits first)."""
+
+    def readdir(self, ctx, ino):
+        directory = self._dir(ino)
+        # Scanning dirents reads the directory's data blocks.
+        nblocks = max(1, directory.inode.size // BLOCK_SIZE)
+        ctx.charge(self.config.load_cost_ns(nblocks * BLOCK_SIZE), CAT_OTHERS)
+        return directory.entries()
+
+    def getattr(self, ctx, ino):
+        inode = self._inode(ino)
+        kind = S_IFDIR if inode.is_dir else S_IFREG
+        return FileStat(ino, kind, inode.size, inode.nlink, inode.mtime, inode.ctime)
+
+    # -- data I/O -----------------------------------------------------------
+
+    def read(self, ctx, ino, offset, count):
+        """Direct copy NVMM -> user buffer (single copy)."""
+        inode = self._inode(ino)
+        if inode.is_dir:
+            raise IsADirectory("inode %d" % ino)
+        if offset >= inode.size or count <= 0:
+            return b""
+        count = min(count, inode.size - offset)
+        ctx.charge(self.config.index_lookup_ns)
+        blockmap = self._map(ino)
+        out = bytearray()
+        pos = offset
+        remaining = count
+        while remaining > 0:
+            file_block, in_off = divmod(pos, BLOCK_SIZE)
+            take = min(BLOCK_SIZE - in_off, remaining)
+            nvmm_block = blockmap.get(file_block)
+            if nvmm_block is None:
+                out.extend(b"\0" * take)
+                ctx.charge(self.config.load_cost_ns(take))
+            else:
+                out.extend(
+                    self.device.read(ctx, block_addr(nvmm_block) + in_off, take)
+                )
+            pos += take
+            remaining -= take
+        return bytes(out)
+
+    def write(self, ctx, ino, offset, data, eager=False):
+        """Direct copy user buffer -> NVMM; durable on return."""
+        inode = self._inode(ino)
+        if inode.is_dir:
+            raise IsADirectory("inode %d" % ino)
+        if not data:
+            return 0
+        ctx.charge(self.config.index_lookup_ns)
+        blockmap = self._map(ino)
+        tx = self.journal.begin(ctx)
+        pos = offset
+        view = memoryview(data)
+        try:
+            while view:
+                file_block, in_off = divmod(pos, BLOCK_SIZE)
+                take = min(BLOCK_SIZE - in_off, len(view))
+                nvmm_block = blockmap.get(file_block)
+                if nvmm_block is None:
+                    nvmm_block = self._alloc_data_block()
+                    self.device.mem.write_nocache(
+                        block_addr(nvmm_block), b"\0" * BLOCK_SIZE
+                    )
+                    blockmap.set(ctx, tx, file_block, nvmm_block)
+                self.device.write_persistent(
+                    ctx, block_addr(nvmm_block) + in_off, bytes(view[:take])
+                )
+                pos += take
+                view = view[take:]
+            inode.size = max(inode.size, offset + len(data))
+            inode.mtime = ctx.now
+            self.itable.write_core(ctx, tx, inode)
+        finally:
+            # On failure (e.g. ENOSPC mid-write) the partial progress is
+            # committed: blocks mapped beyond i_size are invisible and
+            # get reused, and no transaction is ever leaked open.
+            self.journal.commit(ctx, tx)
+        return len(data)
+
+    def fsync(self, ctx, ino):
+        """PMFS data is always durable; fsync is just an ordering point."""
+        self._inode(ino)
+        self.device.fence(ctx)
+
+    def truncate(self, ctx, ino, new_size):
+        inode = self._inode(ino)
+        if inode.is_dir:
+            raise IsADirectory("inode %d" % ino)
+        tx = self.journal.begin(ctx)
+        if new_size == 0:
+            freed = self._map(ino).drop_all(ctx, tx)
+            self.balloc.free_many(freed)
+        elif new_size < inode.size:
+            blockmap = self._map(ino)
+            first_dead = -(-new_size // BLOCK_SIZE)
+            freed = []
+            for file_block, _ in list(blockmap.mapped_blocks()):
+                if file_block >= first_dead:
+                    freed.append(blockmap.clear(ctx, tx, file_block))
+            self.balloc.free_many(freed)
+        inode.size = new_size
+        inode.mtime = ctx.now
+        self.itable.write_core(ctx, tx, inode)
+        self.journal.commit(ctx, tx)
+
+    # -- memory-mapped I/O --------------------------------------------------
+
+    def _ensure_mapped_for_mmap(self, ctx, tx, blockmap, file_block):
+        """Allocate-and-map a (zeroed) NVMM block for a faulting page."""
+        nvmm_block = blockmap.get(file_block)
+        if nvmm_block is not None:
+            return nvmm_block, False
+        nvmm_block = self._alloc_data_block()
+        self.device.mem.write_nocache(block_addr(nvmm_block), b"\0" * BLOCK_SIZE)
+        blockmap.set(ctx, tx, file_block, nvmm_block)
+        return nvmm_block, True
+
+    def mmap(self, ctx, ino):
+        """Map a file for direct access (paper Section 4.2)."""
+        from repro.fs.pmfs.mmap import MappedRegion
+
+        inode = self._inode(ino)
+        if inode.is_dir:
+            raise IsADirectory("inode %d" % ino)
+        return MappedRegion(self, ino)
+
+    def on_munmap(self, ino):
+        """Hook: HiNFS unpins the file's Eager-Persistent state here."""
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def unmount(self, ctx):
+        self.device.flush_all(ctx)
+
+    def free_data_bytes(self, ctx):
+        return self.balloc.free_count * BLOCK_SIZE
+
+
+class _FreeContext:
+    """A context whose charges are discarded (mkfs / recovery setup)."""
+
+    free = True
+
+    def __init__(self, env):
+        self.env = env
+        self.now = 0
+
+    def charge(self, ns, category=None):
+        return 0
+
+    def sync_to(self, target_ns, category=None):
+        return 0

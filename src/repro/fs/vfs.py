@@ -1,0 +1,322 @@
+"""The syscall surface: paths, file descriptors, and overhead accounting.
+
+Workloads talk to a :class:`VFS`, never to a file system directly.  The
+VFS charges the user/kernel mode-switch and file-abstraction costs that
+the paper's Figure 1 groups under *Others*, resolves paths through a
+dentry cache, tracks per-syscall time (Figure 12's breakdown), and
+forwards inode-level work to the mounted file system.
+"""
+
+from repro.fs import flags as f
+from repro.fs.base import ROOT_INO
+from repro.fs.errors import (
+    BadFileDescriptor,
+    ExistsError,
+    InvalidArgument,
+    IsADirectory,
+    NotADirectory,
+    NotFound,
+    ReadOnly,
+)
+
+
+class OpenFile:
+    """One entry in the open-file table."""
+
+    __slots__ = ("fd", "ino", "flags", "pos", "path")
+
+    def __init__(self, fd, ino, flags, path):
+        self.fd = fd
+        self.ino = ino
+        self.flags = flags
+        self.pos = 0
+        self.path = path
+
+
+class VFS:
+    """Path/descriptor layer over one mounted file system."""
+
+    def __init__(self, env, fs, config, sync_mount=False):
+        self.env = env
+        self.fs = fs
+        self.config = config
+        #: ``mount -o sync``: every write becomes eager-persistent
+        #: (the paper's Section 3.3.2, case (1)).
+        self.sync_mount = sync_mount
+        self._files = {}
+        self._next_fd = 3
+        # (parent_ino, name) -> child ino; the kernel's dentry cache.
+        self._dcache = {}
+        # Per-inode bytes written since the last fsync, for the paper's
+        # Figure 2 "percentage of fsync bytes" accounting.
+        self._unsynced_bytes = {}
+
+    # -- internals ------------------------------------------------------
+
+    def _syscall_entry(self, ctx):
+        ctx.charge(self.config.syscall_ns + self.config.vfs_op_ns)
+
+    def _file(self, fd):
+        try:
+            return self._files[fd]
+        except KeyError:
+            raise BadFileDescriptor("fd %d is not open" % fd) from None
+
+    @staticmethod
+    def _split(path):
+        parts = [p for p in path.split("/") if p]
+        if not parts:
+            raise InvalidArgument("empty path %r" % path)
+        return parts[:-1], parts[-1]
+
+    def _walk(self, ctx, components):
+        """Resolve directory components from the root; returns an ino."""
+        ino = ROOT_INO
+        for name in components:
+            cached = self._dcache.get((ino, name))
+            if cached is not None:
+                ino = cached
+                continue
+            ctx.charge(self.config.index_lookup_ns)
+            child = self.fs.lookup(ctx, ino, name)
+            if child is None:
+                raise NotFound("component %r not found" % name)
+            self._dcache[(ino, name)] = child
+            ino = child
+        return ino
+
+    def _resolve_parent(self, ctx, path):
+        dirs, name = self._split(path)
+        return self._walk(ctx, dirs), name
+
+    def _lookup_child(self, ctx, parent, name):
+        cached = self._dcache.get((parent, name))
+        if cached is not None:
+            return cached
+        ctx.charge(self.config.index_lookup_ns)
+        child = self.fs.lookup(ctx, parent, name)
+        if child is not None:
+            self._dcache[(parent, name)] = child
+        return child
+
+    # -- namespace syscalls ----------------------------------------------
+
+    def open(self, ctx, path, flags=f.O_RDWR):
+        """open(2); returns a file descriptor."""
+        with ctx.syscall("open"):
+            self._syscall_entry(ctx)
+            parent, name = self._resolve_parent(ctx, path)
+            ino = self._lookup_child(ctx, parent, name)
+            if ino is None:
+                if not flags & f.O_CREAT:
+                    raise NotFound(path)
+                ino = self.fs.create_file(ctx, parent, name)
+                self._dcache[(parent, name)] = ino
+            else:
+                if self.fs.getattr(ctx, ino).is_dir:
+                    raise IsADirectory(path)
+                if flags & f.O_TRUNC and f.writable(flags):
+                    self.fs.truncate(ctx, ino, 0)
+            fd = self._next_fd
+            self._next_fd += 1
+            self._files[fd] = OpenFile(fd, ino, flags, path)
+            self.env.stats.ops_completed += 1
+            return fd
+
+    def close(self, ctx, fd):
+        with ctx.syscall("close"):
+            self._syscall_entry(ctx)
+            self._file(fd)
+            del self._files[fd]
+            self.env.stats.ops_completed += 1
+
+    def mkdir(self, ctx, path):
+        with ctx.syscall("mkdir"):
+            self._syscall_entry(ctx)
+            parent, name = self._resolve_parent(ctx, path)
+            if self._lookup_child(ctx, parent, name) is not None:
+                raise ExistsError(path)
+            ino = self.fs.mkdir(ctx, parent, name)
+            self._dcache[(parent, name)] = ino
+            self.env.stats.ops_completed += 1
+            return ino
+
+    def unlink(self, ctx, path):
+        with ctx.syscall("unlink"):
+            self._syscall_entry(ctx)
+            parent, name = self._resolve_parent(ctx, path)
+            ino = self._lookup_child(ctx, parent, name)
+            if ino is None:
+                raise NotFound(path)
+            if self.fs.getattr(ctx, ino).is_dir:
+                raise IsADirectory(path)
+            self.fs.unlink(ctx, parent, name, ino)
+            self._dcache.pop((parent, name), None)
+            self._unsynced_bytes.pop(ino, None)
+            self.env.stats.ops_completed += 1
+
+    def rmdir(self, ctx, path):
+        with ctx.syscall("rmdir"):
+            self._syscall_entry(ctx)
+            parent, name = self._resolve_parent(ctx, path)
+            ino = self._lookup_child(ctx, parent, name)
+            if ino is None:
+                raise NotFound(path)
+            if not self.fs.getattr(ctx, ino).is_dir:
+                raise NotADirectory(path)
+            self.fs.rmdir(ctx, parent, name, ino)
+            self._dcache.pop((parent, name), None)
+            self.env.stats.ops_completed += 1
+
+    def readdir(self, ctx, path):
+        with ctx.syscall("readdir"):
+            self._syscall_entry(ctx)
+            parts = [p for p in path.split("/") if p]
+            ino = self._walk(ctx, parts)
+            if not self.fs.getattr(ctx, ino).is_dir:
+                raise NotADirectory(path)
+            self.env.stats.ops_completed += 1
+            return self.fs.readdir(ctx, ino)
+
+    def stat(self, ctx, path):
+        with ctx.syscall("stat"):
+            self._syscall_entry(ctx)
+            parts = [p for p in path.split("/") if p]
+            ino = self._walk(ctx, parts) if parts else ROOT_INO
+            self.env.stats.ops_completed += 1
+            return self.fs.getattr(ctx, ino)
+
+    def exists(self, ctx, path):
+        try:
+            self.stat(ctx, path)
+            return True
+        except NotFound:
+            return False
+
+    # -- data syscalls ------------------------------------------------------
+
+    def read(self, ctx, fd, count):
+        """read(2) at the descriptor's position."""
+        file = self._file(fd)
+        data = self.pread(ctx, fd, file.pos, count)
+        file.pos += len(data)
+        return data
+
+    def pread(self, ctx, fd, offset, count):
+        with ctx.syscall("read"):
+            self._syscall_entry(ctx)
+            file = self._file(fd)
+            if not f.readable(file.flags):
+                raise ReadOnly("fd %d not open for reading" % fd)
+            if offset < 0 or count < 0:
+                raise InvalidArgument("negative offset/count")
+            data = self.fs.read(ctx, file.ino, offset, count)
+            self.env.stats.ops_completed += 1
+            return data
+
+    def write(self, ctx, fd, data):
+        """write(2) at the descriptor's position (honours O_APPEND)."""
+        file = self._file(fd)
+        if file.flags & f.O_APPEND:
+            file.pos = self.fs.getattr(ctx, file.ino).size
+        written = self.pwrite(ctx, fd, file.pos, data)
+        file.pos += written
+        return written
+
+    def pwrite(self, ctx, fd, offset, data):
+        with ctx.syscall("write"):
+            self._syscall_entry(ctx)
+            file = self._file(fd)
+            if not f.writable(file.flags):
+                raise ReadOnly("fd %d not open for writing" % fd)
+            if offset < 0:
+                raise InvalidArgument("negative offset")
+            eager = self.sync_mount or bool(file.flags & f.O_SYNC)
+            written = self.fs.write(ctx, file.ino, offset, bytes(data), eager=eager)
+            self.env.stats.ops_completed += 1
+            self.env.stats.bump("app_bytes_written", written)
+            if eager:
+                self.env.stats.bump("app_bytes_fsynced", written)
+            else:
+                self._unsynced_bytes[file.ino] = (
+                    self._unsynced_bytes.get(file.ino, 0) + written
+                )
+            return written
+
+    def fsync(self, ctx, fd):
+        with ctx.syscall("fsync"):
+            self._syscall_entry(ctx)
+            file = self._file(fd)
+            self.fs.fsync(ctx, file.ino)
+            self.env.stats.ops_completed += 1
+            self.env.stats.bump(
+                "app_bytes_fsynced", self._unsynced_bytes.pop(file.ino, 0)
+            )
+
+    def truncate(self, ctx, path, new_size):
+        with ctx.syscall("truncate"):
+            self._syscall_entry(ctx)
+            parts = [p for p in path.split("/") if p]
+            ino = self._walk(ctx, parts)
+            self.fs.truncate(ctx, ino, new_size)
+            self.env.stats.ops_completed += 1
+
+    def lseek(self, ctx, fd, pos):
+        self._file(fd).pos = int(pos)
+
+    # -- memory-mapped I/O ----------------------------------------------------
+
+    def mmap(self, ctx, path):
+        """mmap(2): returns a direct-access mapping of the file."""
+        with ctx.syscall("mmap"):
+            self._syscall_entry(ctx)
+            parts = [p for p in path.split("/") if p]
+            ino = self._walk(ctx, parts)
+            self.env.stats.ops_completed += 1
+            return self.fs.mmap(ctx, ino)
+
+    def msync(self, ctx, region):
+        with ctx.syscall("msync"):
+            self._syscall_entry(ctx)
+            self.env.stats.ops_completed += 1
+            return region.msync(ctx)
+
+    def munmap(self, ctx, region):
+        with ctx.syscall("munmap"):
+            self._syscall_entry(ctx)
+            self.env.stats.ops_completed += 1
+            region.munmap(ctx)
+
+    # -- whole-file helpers (workload convenience, still charged) ---------
+
+    def read_file(self, ctx, path, chunk=1 << 20):
+        """Open, read fully in ``chunk`` pieces, close; returns the bytes."""
+        fd = self.open(ctx, path, f.O_RDONLY)
+        out = bytearray()
+        while True:
+            piece = self.read(ctx, fd, chunk)
+            if not piece:
+                break
+            out.extend(piece)
+        self.close(ctx, fd)
+        return bytes(out)
+
+    def write_file(self, ctx, path, data, chunk=1 << 20, sync=False):
+        """Create/overwrite ``path`` with ``data`` in ``chunk`` pieces."""
+        fd = self.open(ctx, path, f.O_RDWR | f.O_CREAT | f.O_TRUNC)
+        for start in range(0, len(data), chunk):
+            self.write(ctx, fd, data[start : start + chunk])
+        if sync:
+            self.fsync(ctx, fd)
+        self.close(ctx, fd)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def reset_accounting(self):
+        """Forget fsync-byte bookkeeping (called when stats are reset)."""
+        self._unsynced_bytes.clear()
+
+    def unmount(self, ctx):
+        """Flush everything volatile; the fs must be consistent afterwards."""
+        self._files.clear()
+        self.fs.unmount(ctx)

@@ -1,0 +1,19 @@
+"""Byte-addressable memory substrate with persistence semantics.
+
+The data plane of the reproduction is real: every write lands in a Python
+``bytearray`` and every read returns the actual bytes, so filesystem
+correctness (including crash consistency) is genuinely testable.
+
+- :mod:`repro.mem.region` -- flat byte-addressable regions.
+- :mod:`repro.mem.cpucache` -- a cacheline store modelling the volatile
+  CPU cache in front of NVMM, with ``clflush``/non-temporal-store
+  semantics and a ``crash()`` operation that discards unflushed lines
+  (optionally persisting an arbitrary subset first, modelling uncontrolled
+  cache evictions -- the very hazard PMFS's journal ordering defends
+  against).
+"""
+
+from repro.mem.cpucache import CachedPersistentRegion
+from repro.mem.region import CACHELINE_SIZE, MemoryRegion
+
+__all__ = ["CACHELINE_SIZE", "CachedPersistentRegion", "MemoryRegion"]

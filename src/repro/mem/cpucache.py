@@ -1,0 +1,157 @@
+"""A persistent region behind a volatile CPU-cache line store.
+
+NVMM sits on the memory bus, so ordinary stores land in the (volatile)
+CPU cache and reach the persistence domain only when flushed -- either
+explicitly (``clflush``), via non-temporal stores (the
+``copy_from_user_inatomic_nocache`` path PMFS uses for data), or
+*unpredictably* when the cache evicts a line on its own.  That last
+hazard is why NVMM file systems must order metadata updates with
+``clflush``/``mfence``; this module models all three paths so the
+journal-recovery tests can exercise real crash states.
+"""
+
+from repro.mem.region import CACHELINE_SIZE, MemoryRegion
+
+
+class CachedPersistentRegion:
+    """Persistent bytes fronted by a volatile write-back line cache.
+
+    Reads always observe the newest data (cache hit first).  ``crash()``
+    discards unflushed lines, optionally persisting an arbitrary subset
+    first to model uncontrolled evictions.  Within one cacheline, a crash
+    is all-or-nothing -- the architectural guarantee ("writes to the same
+    cacheline are never reordered") that both PMFS's and HiNFS's
+    valid-flag log entries rely on.
+    """
+
+    def __init__(self, size):
+        self.size = int(size)
+        self._persistent = MemoryRegion(size)
+        # line index -> bytearray(CACHELINE_SIZE) of newest (volatile) data
+        self._dirty_lines = {}
+
+    # -- helpers ----------------------------------------------------------
+
+    @staticmethod
+    def _line_range(addr, length):
+        """Indices of every cacheline overlapping [addr, addr+length)."""
+        if length <= 0:
+            return range(0, 0)
+        first = addr // CACHELINE_SIZE
+        last = (addr + length - 1) // CACHELINE_SIZE
+        return range(first, last + 1)
+
+    def _line_buf(self, line):
+        """Volatile buffer for ``line``, faulting it in from persistence."""
+        buf = self._dirty_lines.get(line)
+        if buf is None:
+            base = line * CACHELINE_SIZE
+            end = min(base + CACHELINE_SIZE, self.size)
+            buf = bytearray(self._persistent.read(base, end - base))
+            if len(buf) < CACHELINE_SIZE:
+                buf.extend(b"\0" * (CACHELINE_SIZE - len(buf)))
+            self._dirty_lines[line] = buf
+        return buf
+
+    # -- store paths ------------------------------------------------------
+
+    def write(self, addr, data):
+        """An ordinary (cached, write-back) store: volatile until flushed."""
+        data = bytes(data)
+        if addr < 0 or addr + len(data) > self.size:
+            raise IndexError("store outside region")
+        pos = addr
+        remaining = memoryview(data)
+        while remaining:
+            line = pos // CACHELINE_SIZE
+            off = pos % CACHELINE_SIZE
+            take = min(CACHELINE_SIZE - off, len(remaining))
+            buf = self._line_buf(line)
+            buf[off : off + take] = remaining[:take]
+            pos += take
+            remaining = remaining[take:]
+
+    def write_nocache(self, addr, data):
+        """A non-temporal store: bypasses the cache, immediately durable.
+
+        Matches PMFS's ``copy_from_user_inatomic_nocache`` data path.
+        Dirty volatile copies of partially-covered lines are flushed first
+        so the store never resurrects stale bytes within a line.
+        """
+        data = bytes(data)
+        if addr < 0 or addr + len(data) > self.size:
+            raise IndexError("store outside region")
+        for line in self._line_range(addr, len(data)):
+            self._flush_line(line)
+        self._persistent.write(addr, data)
+
+    # -- flush / ordering ---------------------------------------------------
+
+    def clflush(self, addr, length):
+        """Flush every cacheline overlapping the range to persistence.
+
+        Returns the number of lines actually flushed (dirty lines only),
+        which the timing layer converts into emulated NVMM write delay.
+        """
+        flushed = 0
+        for line in self._line_range(addr, length):
+            if self._flush_line(line):
+                flushed += 1
+        return flushed
+
+    def _flush_line(self, line):
+        buf = self._dirty_lines.pop(line, None)
+        if buf is None:
+            return False
+        base = line * CACHELINE_SIZE
+        end = min(base + CACHELINE_SIZE, self.size)
+        self._persistent.write(base, bytes(buf[: end - base]))
+        return True
+
+    def flush_all(self):
+        """Flush every dirty line (wbinvd-style; used at unmount)."""
+        flushed = 0
+        for line in sorted(self._dirty_lines):
+            if self._flush_line(line):
+                flushed += 1
+        return flushed
+
+    # -- load path --------------------------------------------------------
+
+    def read(self, addr, length):
+        """Load ``length`` bytes, observing volatile lines first."""
+        if addr < 0 or length < 0 or addr + length > self.size:
+            raise IndexError("load outside region")
+        if not self._dirty_lines:
+            return self._persistent.read(addr, length)
+        out = bytearray(self._persistent.read(addr, length))
+        for line in self._line_range(addr, length):
+            buf = self._dirty_lines.get(line)
+            if buf is None:
+                continue
+            base = line * CACHELINE_SIZE
+            lo = max(addr, base)
+            hi = min(addr + length, base + CACHELINE_SIZE)
+            out[lo - addr : hi - addr] = buf[lo - base : hi - base]
+        return bytes(out)
+
+    # -- crash modelling --------------------------------------------------
+
+    def dirty_line_indices(self):
+        """Lines currently volatile (useful for enumerating crash states)."""
+        return sorted(self._dirty_lines)
+
+    def crash(self, evict_lines=()):
+        """Power failure: lose volatile lines, except ``evict_lines``.
+
+        ``evict_lines`` models lines the cache happened to write back on
+        its own before the crash; they persist, everything else volatile
+        is lost.  Whole lines persist or vanish atomically.
+        """
+        for line in evict_lines:
+            self._flush_line(line)
+        self._dirty_lines.clear()
+
+    def persistent_snapshot(self):
+        """Contents as they would be read after an immediate crash."""
+        return self._persistent.snapshot()

@@ -1,0 +1,43 @@
+"""Flat byte-addressable memory regions."""
+
+CACHELINE_SIZE = 64
+
+
+class MemoryRegion:
+    """A bounds-checked flat byte array (the data plane of a device)."""
+
+    def __init__(self, size):
+        if size <= 0:
+            raise ValueError("region size must be positive, got %d" % size)
+        self.size = int(size)
+        self._data = bytearray(self.size)
+
+    def _check(self, addr, length):
+        if addr < 0 or length < 0 or addr + length > self.size:
+            raise IndexError(
+                "access [%d, %d) outside region of %d bytes"
+                % (addr, addr + length, self.size)
+            )
+
+    def read(self, addr, length):
+        """Return ``length`` bytes starting at ``addr``."""
+        self._check(addr, length)
+        return bytes(self._data[addr : addr + length])
+
+    def write(self, addr, data):
+        """Store ``data`` at ``addr``."""
+        data = bytes(data)
+        self._check(addr, len(data))
+        self._data[addr : addr + len(data)] = data
+
+    def fill(self, addr, length, value=0):
+        """Set ``length`` bytes at ``addr`` to ``value``."""
+        self._check(addr, length)
+        self._data[addr : addr + length] = bytes([value]) * length
+
+    def snapshot(self):
+        """An independent copy of the full contents."""
+        return bytes(self._data)
+
+    def __len__(self):
+        return self.size

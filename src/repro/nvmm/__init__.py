@@ -1,0 +1,24 @@
+"""NVMM and DRAM device models.
+
+Implements the paper's emulation model (Section 5.1) in virtual time:
+
+- NVMM stores cost the configured write latency per flushed cacheline
+  (the paper injects the delay after each ``clflush``); 200 ns default.
+- NVMM write *bandwidth* is modelled as ``N_w`` concurrent writer slots
+  (``N_w = B_nvmm / (1 / L_nvmm)``, the paper's formula); a writer queues
+  when all slots are busy.  1 GB/s default.
+- NVMM loads cost the same as DRAM loads (the paper's read assumption).
+- DRAM copies run at 8x the NVMM write bandwidth (the paper's ratio).
+"""
+
+from repro.nvmm.allocator import BlockAllocator, OutOfSpaceError
+from repro.nvmm.config import NVMMConfig
+from repro.nvmm.device import DRAMDevice, NVMMDevice
+
+__all__ = [
+    "BlockAllocator",
+    "DRAMDevice",
+    "NVMMConfig",
+    "NVMMDevice",
+    "OutOfSpaceError",
+]

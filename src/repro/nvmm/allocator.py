@@ -1,0 +1,82 @@
+"""Bitmap block allocator shared by every storage substrate."""
+
+
+class OutOfSpaceError(Exception):
+    """Raised when an allocation cannot be satisfied."""
+
+
+class BlockAllocator:
+    """First-fit bitmap allocator over a fixed population of blocks.
+
+    Used for NVMM data blocks (PMFS/HiNFS), DRAM buffer blocks (HiNFS),
+    and extfs block groups.  Keeps a rotating cursor so sequential
+    allocations tend to be contiguous, which matters for the extent-ish
+    behaviour of the block-based file systems.
+    """
+
+    def __init__(self, num_blocks, first_block=0):
+        if num_blocks <= 0:
+            raise ValueError("allocator needs at least one block")
+        self.num_blocks = int(num_blocks)
+        self.first_block = int(first_block)
+        self._free = set(range(first_block, first_block + num_blocks))
+        self._cursor = first_block
+
+    @property
+    def free_count(self):
+        return len(self._free)
+
+    @property
+    def used_count(self):
+        return self.num_blocks - len(self._free)
+
+    def is_allocated(self, block):
+        self._check(block)
+        return block not in self._free
+
+    def _check(self, block):
+        if not self.first_block <= block < self.first_block + self.num_blocks:
+            raise ValueError("block %d outside allocator range" % block)
+
+    def alloc(self):
+        """Allocate one block, scanning forward from the rotating cursor."""
+        if not self._free:
+            raise OutOfSpaceError("no free blocks")
+        limit = self.first_block + self.num_blocks
+        for candidate in range(self._cursor, limit):
+            if candidate in self._free:
+                return self._take(candidate)
+        for candidate in range(self.first_block, self._cursor):
+            if candidate in self._free:
+                return self._take(candidate)
+        raise OutOfSpaceError("no free blocks")  # pragma: no cover
+
+    def _take(self, block):
+        self._free.remove(block)
+        self._cursor = block + 1
+        if self._cursor >= self.first_block + self.num_blocks:
+            self._cursor = self.first_block
+        return block
+
+    def alloc_many(self, count):
+        """Allocate ``count`` blocks (not necessarily contiguous)."""
+        if count > len(self._free):
+            raise OutOfSpaceError(
+                "asked for %d blocks, only %d free" % (count, len(self._free))
+            )
+        return [self.alloc() for _ in range(count)]
+
+    def free(self, block):
+        self._check(block)
+        if block in self._free:
+            raise ValueError("double free of block %d" % block)
+        self._free.add(block)
+
+    def free_many(self, blocks):
+        for block in blocks:
+            self.free(block)
+
+    def mark_allocated(self, block):
+        """Claim a specific block (used when rebuilding state at recovery)."""
+        self._check(block)
+        self._free.discard(block)

@@ -1,0 +1,162 @@
+"""Timed NVMM and DRAM devices.
+
+These combine the real data plane (:mod:`repro.mem`) with the cost model
+(:mod:`repro.nvmm.config`).  Every access takes the :class:`ExecContext`
+of the simulated thread performing it and charges that thread's clock,
+tagged with a breakdown category so Figure 1 / Figure 12 can be rebuilt
+from the stats.
+"""
+
+from repro.engine.stats import CAT_OTHERS, CAT_READ_ACCESS, CAT_WRITE_ACCESS
+from repro.mem.cpucache import CachedPersistentRegion
+from repro.mem.region import MemoryRegion
+from repro.nvmm.config import CACHELINE_SIZE, lines_spanned
+
+NVMM_WRITE_RESOURCE = "nvmm_write_slots"
+
+
+class NVMMDevice:
+    """Byte-addressable NVMM with slow, bandwidth-capped writes.
+
+    Three store paths mirror the hardware:
+
+    - :meth:`write_persistent` -- non-temporal store; pays the NVMM write
+      latency per cacheline while holding a writer slot (PMFS data path,
+      HiNFS writeback path).
+    - :meth:`write_cached` -- ordinary store into the CPU cache; cheap and
+      volatile until :meth:`clflush` (journal entries before their flush).
+    - :meth:`clflush` + :meth:`fence` -- flush dirty lines, paying NVMM
+      write cost for each, then order.
+    """
+
+    def __init__(self, env, config, size):
+        self.env = env
+        self.config = config
+        self.mem = CachedPersistentRegion(size)
+        if env.has_resource(NVMM_WRITE_RESOURCE):
+            self.write_slots = env.resource(NVMM_WRITE_RESOURCE)
+        else:
+            self.write_slots = env.add_resource(
+                NVMM_WRITE_RESOURCE, config.nvmm_writer_slots
+            )
+
+    @property
+    def size(self):
+        return self.mem.size
+
+    # -- loads ------------------------------------------------------------
+
+    def read(self, ctx, addr, length, category=CAT_READ_ACCESS):
+        """Load bytes; NVMM reads cost the same as DRAM reads."""
+        data = self.mem.read(addr, length)
+        ctx.charge(self.config.load_cost_ns(length), category)
+        self.env.stats.bytes_read_nvmm += length
+        return data
+
+    # -- stores -----------------------------------------------------------
+
+    def _persist_lines(self, ctx, nlines, category):
+        """Occupy a writer slot for ``nlines`` cacheline persists.
+
+        Contexts marked ``free`` (mkfs, recovery setup) neither pay nor
+        pollute the shared slot timeline.
+        """
+        if nlines <= 0 or getattr(ctx, "free", False):
+            return
+        duration = self.config.nvmm_persist_cost_ns(nlines)
+        grant = self.write_slots.reserve(ctx.now, duration)
+        ctx.sync_to(grant.end_ns, category)
+
+    def write_persistent(self, ctx, addr, data, category=CAT_WRITE_ACCESS):
+        """Non-temporal store: durable on return, pays full NVMM cost."""
+        data = bytes(data)
+        self.mem.write_nocache(addr, data)
+        nlines = lines_spanned(len(data), addr % CACHELINE_SIZE)
+        self._persist_lines(ctx, nlines, category)
+        if not getattr(ctx, "free", False):
+            self.env.stats.bytes_written_nvmm += len(data)
+
+    def write_persistent_async(self, ctx, addr, data, category=CAT_WRITE_ACCESS):
+        """Book a persistent store without waiting for it.
+
+        Reserves writer-slot time starting at ``ctx.now`` and returns the
+        completion timestamp instead of advancing the clock, so a caller
+        flushing many blocks can overlap them across the ``N_w`` slots --
+        the paper's HiNFS runs *multiple* writeback threads (Section 3.2)
+        and this is their aggregate effect.  The caller must
+        ``ctx.sync_to(max(end))`` before acting on the data's durability.
+        """
+        data = bytes(data)
+        self.mem.write_nocache(addr, data)
+        if getattr(ctx, "free", False):
+            return ctx.now
+        nlines = lines_spanned(len(data), addr % CACHELINE_SIZE)
+        if nlines <= 0:
+            return ctx.now
+        duration = self.config.nvmm_persist_cost_ns(nlines)
+        grant = self.write_slots.reserve(ctx.now, duration)
+        self.env.stats.bytes_written_nvmm += len(data)
+        return grant.end_ns
+
+    def write_cached(self, ctx, addr, data, category=CAT_OTHERS):
+        """Ordinary store: lands in the CPU cache, volatile until flushed."""
+        data = bytes(data)
+        self.mem.write(addr, data)
+        ctx.charge(self.config.dram_store_cost_ns(len(data)), category)
+
+    def clflush(self, ctx, addr, length, category=CAT_WRITE_ACCESS):
+        """Flush the lines covering the range; pays NVMM cost per dirty line."""
+        flushed = self.mem.clflush(addr, length)
+        self._persist_lines(ctx, flushed, category)
+        if not getattr(ctx, "free", False):
+            self.env.stats.bytes_written_nvmm += flushed * CACHELINE_SIZE
+        return flushed
+
+    def fence(self, ctx, category=CAT_OTHERS):
+        """mfence: an ordering point."""
+        ctx.charge(self.config.fence_ns, category)
+
+    # -- crash ------------------------------------------------------------
+
+    def crash(self, evict_lines=()):
+        """Drop volatile lines (power failure); see CachedPersistentRegion."""
+        self.mem.crash(evict_lines)
+
+    def flush_all(self, ctx=None, category=CAT_WRITE_ACCESS):
+        """Flush the whole cache (unmount); charged if a context is given."""
+        flushed = self.mem.flush_all()
+        if ctx is not None:
+            self._persist_lines(ctx, flushed, category)
+        return flushed
+
+
+class DRAMDevice:
+    """Plain DRAM: fast, volatile, uncapped in concurrency.
+
+    Backs HiNFS's write buffer and the page cache of the block-based file
+    systems.  Contents do not survive :meth:`crash`.
+    """
+
+    def __init__(self, env, config, size):
+        self.env = env
+        self.config = config
+        self.mem = MemoryRegion(size)
+
+    @property
+    def size(self):
+        return self.mem.size
+
+    def read(self, ctx, addr, length, category=CAT_READ_ACCESS):
+        data = self.mem.read(addr, length)
+        ctx.charge(self.config.load_cost_ns(length), category)
+        return data
+
+    def write(self, ctx, addr, data, category=CAT_WRITE_ACCESS):
+        data = bytes(data)
+        self.mem.write(addr, data)
+        ctx.charge(self.config.dram_store_cost_ns(len(data)), category)
+        self.env.stats.bytes_written_dram += len(data)
+
+    def crash(self):
+        """DRAM loses everything on power failure."""
+        self.mem.fill(0, self.mem.size, 0)

@@ -1,0 +1,18 @@
+"""The OS page cache used by the block-based baseline file systems.
+
+This is the layer whose *double-copy* overhead the paper sets out to
+eliminate: every read misses into the cache first (device -> cache ->
+user), and every durable write copies twice (user -> cache -> device).
+
+- :mod:`repro.pagecache.radix` -- the radix-tree page index (as in the
+  Linux page cache).
+- :mod:`repro.pagecache.cache` -- pages, dirty tracking, LRU eviction.
+- :mod:`repro.pagecache.writeback` -- the pdflush-style background
+  writeback timeline.
+"""
+
+from repro.pagecache.cache import Page, PageCache
+from repro.pagecache.radix import RadixTree
+from repro.pagecache.writeback import PdflushTask
+
+__all__ = ["Page", "PageCache", "PdflushTask", "RadixTree"]

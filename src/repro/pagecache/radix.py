@@ -1,0 +1,143 @@
+"""A radix tree over non-negative integer keys (the page-cache index).
+
+Mirrors the Linux page-cache radix tree: 6-bit fanout per level (64
+slots), growing in height as keys demand.  Supports insert, lookup,
+delete, and ordered iteration.
+"""
+
+RADIX_BITS = 6
+RADIX_SLOTS = 1 << RADIX_BITS
+RADIX_MASK = RADIX_SLOTS - 1
+
+
+class _RNode:
+    __slots__ = ("slots", "count")
+
+    def __init__(self):
+        self.slots = [None] * RADIX_SLOTS
+        self.count = 0
+
+
+class RadixTree:
+    """Integer-keyed map with Linux-style radix-tree internals."""
+
+    def __init__(self):
+        self._root = None
+        self._height = 0  # number of levels; 0 = empty
+        self._size = 0
+
+    def __len__(self):
+        return self._size
+
+    @staticmethod
+    def _max_key(height):
+        return (1 << (RADIX_BITS * height)) - 1
+
+    def _extend(self, key):
+        """Grow the tree upwards until ``key`` fits."""
+        if self._root is None:
+            self._root = _RNode()
+            self._height = 1
+        while key > self._max_key(self._height):
+            if self._root.count == 0:
+                # An empty root can simply serve at a greater height;
+                # wrapping it would leave a dead chain at slot 0.
+                self._height += 1
+                continue
+            new_root = _RNode()
+            new_root.slots[0] = self._root
+            new_root.count = 1
+            self._root = new_root
+            self._height += 1
+
+    def insert(self, key, value):
+        """Insert or replace; returns True when the key is new."""
+        if key < 0:
+            raise ValueError("radix keys are non-negative")
+        if value is None:
+            raise ValueError("radix values may not be None")
+        self._extend(key)
+        node = self._root
+        for level in range(self._height - 1, 0, -1):
+            index = (key >> (RADIX_BITS * level)) & RADIX_MASK
+            child = node.slots[index]
+            if child is None:
+                child = _RNode()
+                node.slots[index] = child
+                node.count += 1
+            node = child
+        index = key & RADIX_MASK
+        fresh = node.slots[index] is None
+        node.slots[index] = value
+        if fresh:
+            node.count += 1
+            self._size += 1
+        return fresh
+
+    def get(self, key, default=None):
+        if self._root is None or key < 0 or key > self._max_key(self._height):
+            return default
+        node = self._root
+        for level in range(self._height - 1, 0, -1):
+            node = node.slots[(key >> (RADIX_BITS * level)) & RADIX_MASK]
+            if node is None:
+                return default
+        value = node.slots[key & RADIX_MASK]
+        return default if value is None else value
+
+    def __contains__(self, key):
+        return self.get(key) is not None
+
+    def delete(self, key):
+        """Remove ``key``; returns its value or None.  Prunes empty nodes."""
+        if self._root is None or key < 0 or key > self._max_key(self._height):
+            return None
+        path = []
+        node = self._root
+        for level in range(self._height - 1, 0, -1):
+            index = (key >> (RADIX_BITS * level)) & RADIX_MASK
+            path.append((node, index))
+            node = node.slots[index]
+            if node is None:
+                return None
+        index = key & RADIX_MASK
+        value = node.slots[index]
+        if value is None:
+            return None
+        node.slots[index] = None
+        node.count -= 1
+        self._size -= 1
+        # Prune empty leaves upwards.
+        child = node
+        for parent, pindex in reversed(path):
+            if child.count > 0:
+                break
+            parent.slots[pindex] = None
+            parent.count -= 1
+            child = parent
+        if self._root is not None and self._root.count == 0:
+            self._root = None
+            self._height = 0
+        return value
+
+    def items(self):
+        """All (key, value) pairs in ascending key order."""
+        out = []
+        if self._root is not None:
+            self._walk(self._root, self._height - 1, 0, out)
+        return out
+
+    def _walk(self, node, level, prefix, out):
+        for index, slot in enumerate(node.slots):
+            if slot is None:
+                continue
+            key = (prefix << RADIX_BITS) | index
+            if level == 0:
+                out.append((key, slot))
+            else:
+                self._walk(slot, level - 1, key, out)
+
+    def clear(self):
+        self._root = None
+        self._height = 0
+        self._size = 0

@@ -1,0 +1,103 @@
+"""``hinfs-trace``: synthesise, inspect, and replay syscall traces.
+
+Subcommands::
+
+    hinfs-trace synth usr0 -o usr0.trace      # write a synthetic trace
+    hinfs-trace stats usr0.trace              # fsync/size/locality stats
+    hinfs-trace replay usr0.trace --fs hinfs  # replay and time it
+
+The trace format is one tab-separated record per line:
+``op<TAB>path<TAB>offset<TAB>size`` with op in {read, write, fsync,
+unlink} — the four syscalls the paper's replayer extracts.
+"""
+
+import argparse
+import sys
+from collections import Counter
+
+from repro.bench.runner import FS_NAMES, run_workload
+from repro.core.config import HiNFSConfig
+from repro.workloads.traces import (
+    SYNTHESIZERS,
+    SyntheticTrace,
+    TraceReplayWorkload,
+    dump_trace,
+    load_trace,
+)
+
+
+def _load(path, name="trace"):
+    with open(path) as fileobj:
+        return SyntheticTrace(name, load_trace(fileobj))
+
+
+def cmd_synth(args):
+    trace = SYNTHESIZERS[args.name](ops=args.ops, seed=args.seed)
+    with open(args.output, "w") as fileobj:
+        dump_trace(trace.records, fileobj)
+    print("wrote %d records to %s" % (len(trace.records), args.output))
+    return 0
+
+
+def cmd_stats(args):
+    trace = _load(args.trace)
+    ops = Counter(record.op for record in trace.records)
+    writes = [r for r in trace.records if r.op == "write"]
+    total, fsynced = trace.fsync_byte_stats()
+    files = {r.path for r in trace.records}
+    print("records:        %d" % len(trace.records))
+    print("op mix:         %s" % dict(sorted(ops.items())))
+    print("files touched:  %d" % len(files))
+    if writes:
+        sizes = sorted(w.size for w in writes)
+        print("write bytes:    %.1f KB total, median %d B, max %d B"
+              % (total / 1e3, sizes[len(sizes) // 2], sizes[-1]))
+    print("fsync bytes:    %.1f%%" % (100 * fsynced / max(1, total)))
+    return 0
+
+
+def cmd_replay(args):
+    trace = _load(args.trace)
+    result = run_workload(
+        args.fs, TraceReplayWorkload(trace),
+        device_size=args.device_mb << 20,
+        hinfs_config=HiNFSConfig(buffer_bytes=args.buffer_mb << 20),
+    )
+    print("replayed %d records on %s" % (len(trace.records), args.fs))
+    print("simulated elapsed: %.3f ms" % (result.elapsed_ns / 1e6))
+    for syscall in ("read", "write", "unlink", "fsync"):
+        ns = result.stats.syscall_time_ns.get(syscall, 0)
+        print("  %-7s %.3f ms" % (syscall, ns / 1e6))
+    print("NVMM bytes written: %.1f KB"
+          % (result.stats.bytes_written_nvmm / 1e3))
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(prog="hinfs-trace", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_synth = sub.add_parser("synth", help="generate a synthetic trace")
+    p_synth.add_argument("name", choices=sorted(SYNTHESIZERS))
+    p_synth.add_argument("-o", "--output", required=True)
+    p_synth.add_argument("--ops", type=int, default=4000)
+    p_synth.add_argument("--seed", type=int, default=42)
+    p_synth.set_defaults(func=cmd_synth)
+
+    p_stats = sub.add_parser("stats", help="summarise a trace file")
+    p_stats.add_argument("trace")
+    p_stats.set_defaults(func=cmd_stats)
+
+    p_replay = sub.add_parser("replay", help="replay a trace on an fs")
+    p_replay.add_argument("trace")
+    p_replay.add_argument("--fs", choices=FS_NAMES, default="hinfs")
+    p_replay.add_argument("--device-mb", type=int, default=192)
+    p_replay.add_argument("--buffer-mb", type=int, default=8)
+    p_replay.set_defaults(func=cmd_replay)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

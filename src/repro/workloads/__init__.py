@@ -1,0 +1,57 @@
+"""Workloads: everything in the paper's Table 1.
+
+- :mod:`repro.workloads.fio` -- the fio-style micro generator used for
+  the Figure 1 overhead breakdown.
+- :mod:`repro.workloads.filebench` -- fileserver / webserver / webproxy /
+  varmail personalities (Figures 7-11).
+- :mod:`repro.workloads.traces` -- syscall-trace format, synthetic
+  generators matching the published workload characteristics (Usr0, Usr1,
+  LASR, Facebook), and the replayer (Figures 2, 6, 12).
+- :mod:`repro.workloads.macro` -- Postmark, a TPC-C-style OLTP engine,
+  Kernel-Grep and Kernel-Make (Figure 13).
+"""
+
+from repro.workloads.base import Workload, prepare_context
+from repro.workloads.fio import FioWorkload
+from repro.workloads.filebench import (
+    Fileserver,
+    Varmail,
+    Webproxy,
+    Webserver,
+)
+from repro.workloads.traces import (
+    SyntheticTrace,
+    TraceRecord,
+    TraceReplayWorkload,
+    synthesize_facebook,
+    synthesize_lasr,
+    synthesize_usr0,
+    synthesize_usr1,
+)
+from repro.workloads.macro import (
+    KernelGrep,
+    KernelMake,
+    Postmark,
+    TPCC,
+)
+
+__all__ = [
+    "FioWorkload",
+    "Fileserver",
+    "KernelGrep",
+    "KernelMake",
+    "Postmark",
+    "SyntheticTrace",
+    "TPCC",
+    "TraceRecord",
+    "TraceReplayWorkload",
+    "Varmail",
+    "Webproxy",
+    "Webserver",
+    "Workload",
+    "prepare_context",
+    "synthesize_facebook",
+    "synthesize_lasr",
+    "synthesize_usr0",
+    "synthesize_usr1",
+]

@@ -1,0 +1,83 @@
+"""Workload protocol and deterministic helpers."""
+
+import random
+
+from repro.engine.context import ExecContext
+
+
+class FreeContext(ExecContext):
+    """A context whose time/resource charges are discarded.
+
+    Used to pre-allocate filesets before the measured run begins (the
+    paper, like filebench, pre-allocates 5 GB filesets and clears caches
+    before measuring).
+    """
+
+    free = True
+
+    def charge(self, ns, category=None):
+        return self.clock.now
+
+    def sync_to(self, target_ns, category=None):
+        return self.clock.now
+
+
+def prepare_context(env):
+    return FreeContext(env, "prepare")
+
+
+def payload(length, tag=0):
+    """Cheap deterministic bytes: a 251-byte tile offset by ``tag``.
+
+    Avoids generating megabytes of random data in Python while still
+    making blocks distinguishable for correctness checks.
+    """
+    if length <= 0:
+        return b""
+    tile = bytes((i + tag) % 251 for i in range(251))
+    reps = -(-length // len(tile))
+    return (tile * reps)[:length]
+
+
+class Workload:
+    """Base class: a named, seeded, multi-threaded operation stream."""
+
+    name = "abstract"
+
+    def __init__(self, seed=42, threads=1):
+        self.seed = seed
+        self.threads = threads
+
+    def rng(self, stream=0):
+        """A deterministic RNG, distinct per (seed, stream)."""
+        return random.Random("%s:%s:%s" % (self.name, self.seed, stream))
+
+    def prepare(self, vfs, ctx):
+        """Pre-allocate the fileset (run under a FreeContext)."""
+
+    def make_thread_body(self, vfs, thread_id):
+        """Return ``body(ctx)``: a generator yielding once per operation."""
+        raise NotImplementedError
+
+    # -- convenience for single-context (replay-style) execution ---------
+
+    def run_inline(self, vfs, ctx, thread_id=0):
+        """Drive one thread body to completion on ``ctx`` (no scheduler)."""
+        for _ in self.make_thread_body(vfs, thread_id)(ctx):
+            pass
+
+
+def zipf_index(rng, n, skew=1.1):
+    """A Zipf-ish index in [0, n): heavily favours low indexes.
+
+    Uses the inverse-power method, cheap and deterministic; file-system
+    workloads show exactly this kind of skewed popularity (papers cited
+    in Section 3.2).
+    """
+    if n <= 1:
+        return 0
+    u = rng.random()
+    # Inverse CDF of a bounded power-law; the +1 keeps even skew ~1
+    # noticeably head-heavy (a third of picks land in the first decile).
+    index = int(n * (u ** (1.0 + skew)) * 0.999)
+    return min(n - 1, index)

@@ -1,0 +1,48 @@
+"""fio-style micro generator (the paper's Figure 1 experiment).
+
+Random reads and writes at a fixed I/O size against one pre-allocated
+file, with a configurable read:write ratio (the paper uses 1:2).
+"""
+
+from repro.fs import flags as f
+from repro.workloads.base import Workload, payload
+
+
+class FioWorkload(Workload):
+    """Random mixed I/O against a single pre-allocated file."""
+
+    name = "fio"
+
+    def __init__(self, io_size=4096, file_size=8 << 20, read_fraction=1 / 3,
+                 ops_per_thread=2000, seed=42, threads=1):
+        super().__init__(seed=seed, threads=threads)
+        self.io_size = int(io_size)
+        self.file_size = int(file_size)
+        self.read_fraction = read_fraction
+        self.ops_per_thread = ops_per_thread
+
+    def path(self, thread_id):
+        return "/fio.%d.dat" % thread_id
+
+    def prepare(self, vfs, ctx):
+        data = payload(self.file_size, tag=7)
+        for tid in range(self.threads):
+            vfs.write_file(ctx, self.path(tid), data, chunk=1 << 20)
+
+    def make_thread_body(self, vfs, thread_id):
+        rng = self.rng(thread_id)
+        max_offset = max(1, self.file_size - self.io_size)
+        chunk = payload(self.io_size, tag=thread_id + 1)
+
+        def body(ctx):
+            fd = vfs.open(ctx, self.path(thread_id), f.O_RDWR)
+            for _ in range(self.ops_per_thread):
+                offset = rng.randrange(max_offset)
+                if rng.random() < self.read_fraction:
+                    vfs.pread(ctx, fd, offset, self.io_size)
+                else:
+                    vfs.pwrite(ctx, fd, offset, chunk)
+                yield
+            vfs.close(ctx, fd)
+
+        return body

@@ -1,0 +1,245 @@
+"""Macrobenchmarks (paper Table 1, Figure 13).
+
+- **Postmark**: small-file create/read/append/delete transactions, the
+  e-mail/web-service pattern full of short-lived files (HiNFS's buffer
+  absorbs writes to files that die before writeback).
+- **TPCC**: a miniature OLTP storage engine -- heap-table pages plus a
+  write-ahead log that is fsynced at every commit, reproducing the >90 %
+  fsync-byte profile of DBT2/PostgreSQL in Figure 2.
+- **KernelGrep**: scan every file of a synthetic source tree for an
+  absent pattern (pure cold reads).
+- **KernelMake**: read sources, write object files, no fsync (lazy
+  writes a build produces).
+"""
+
+from repro.fs import flags as f
+from repro.workloads.base import Workload, payload, zipf_index
+
+
+class Postmark(Workload):
+    """Katcher's postmark: transactions over a pool of small files."""
+
+    name = "postmark"
+
+    def __init__(self, initial_files=200, transactions=1000,
+                 min_size=512, max_size=10 << 10, read_chunk=4096,
+                 seed=42, threads=1):
+        super().__init__(seed=seed, threads=threads)
+        self.initial_files = initial_files
+        self.transactions = transactions
+        self.min_size = min_size
+        self.max_size = max_size
+        self.read_chunk = read_chunk
+
+    def _dir(self, tid):
+        return "/pm%d" % tid
+
+    def prepare(self, vfs, ctx):
+        for tid in range(self.threads):
+            vfs.mkdir(ctx, self._dir(tid))
+            rng = self.rng(stream=1000 + tid)
+            for i in range(self.initial_files):
+                size = rng.randint(self.min_size, self.max_size)
+                vfs.write_file(ctx, "%s/init%05d" % (self._dir(tid), i),
+                               payload(size, tid))
+
+    def make_thread_body(self, vfs, thread_id):
+        rng = self.rng(thread_id)
+        directory = self._dir(thread_id)
+        files = ["%s/init%05d" % (directory, i)
+                 for i in range(self.initial_files)]
+        counter = [0]
+
+        def create(ctx):
+            counter[0] += 1
+            name = "%s/tx%06d" % (directory, counter[0])
+            size = rng.randint(self.min_size, self.max_size)
+            vfs.write_file(ctx, name, payload(size, thread_id))
+            files.append(name)
+
+        def body(ctx):
+            for _ in range(self.transactions):
+                # Half of a transaction: read or append.
+                victim = files[rng.randrange(len(files))]
+                if rng.random() < 0.5:
+                    fd = vfs.open(ctx, victim, f.O_RDONLY)
+                    while vfs.read(ctx, fd, self.read_chunk):
+                        pass
+                    vfs.close(ctx, fd)
+                else:
+                    fd = vfs.open(ctx, victim, f.O_RDWR | f.O_APPEND)
+                    vfs.write(ctx, fd, payload(
+                        rng.randint(self.min_size, self.max_size), 9))
+                    vfs.close(ctx, fd)
+                # Other half: create or delete.
+                if rng.random() < 0.5 or len(files) < 8:
+                    create(ctx)
+                else:
+                    victim = files.pop(rng.randrange(len(files)))
+                    vfs.unlink(ctx, victim)
+                yield
+            # Postmark's final phase: delete everything.
+            for name in files:
+                vfs.unlink(ctx, name)
+                yield
+            del files[:]
+
+        return body
+
+
+class TPCC(Workload):
+    """A miniature TPC-C-style engine: table pages + a WAL fsynced per
+    commit (DBT2 on PostgreSQL with 3 warehouses in the paper)."""
+
+    name = "tpcc"
+    PAGE = 8192  # PostgreSQL page size
+
+    def __init__(self, warehouses=3, table_pages=64, transactions=600,
+                 checkpoint_every=50, seed=42, threads=1):
+        super().__init__(seed=seed, threads=threads)
+        self.warehouses = warehouses
+        self.table_pages = table_pages
+        self.transactions = transactions
+        self.checkpoint_every = checkpoint_every
+
+    TABLES = ("warehouse", "district", "customer", "stock", "orders",
+              "order_line")
+
+    def _table(self, tid, table):
+        return "/tpcc%d/%s.dat" % (tid, table)
+
+    def _wal(self, tid):
+        return "/tpcc%d/wal" % tid
+
+    def prepare(self, vfs, ctx):
+        for tid in range(self.threads):
+            vfs.mkdir(ctx, "/tpcc%d" % tid)
+            for table in self.TABLES:
+                vfs.write_file(ctx, self._table(tid, table),
+                               payload(self.table_pages * self.PAGE, tid))
+            vfs.write_file(ctx, self._wal(tid), b"")
+
+    def make_thread_body(self, vfs, thread_id):
+        rng = self.rng(thread_id)
+
+        def body(ctx):
+            table_fds = {
+                table: vfs.open(ctx, self._table(thread_id, table), f.O_RDWR)
+                for table in self.TABLES
+            }
+            wal_fd = vfs.open(ctx, self._wal(thread_id),
+                              f.O_RDWR | f.O_APPEND)
+            dirty = []
+            for txn in range(self.transactions):
+                # New-Order-ish: read a few pages, modify a couple.
+                for _ in range(rng.randint(2, 4)):
+                    table = self.TABLES[rng.randrange(len(self.TABLES))]
+                    page = zipf_index(rng, self.table_pages)
+                    vfs.pread(ctx, table_fds[table], page * self.PAGE,
+                              self.PAGE)
+                for _ in range(rng.randint(1, 2)):
+                    table = self.TABLES[rng.randrange(len(self.TABLES))]
+                    page = zipf_index(rng, self.table_pages)
+                    vfs.pwrite(ctx, table_fds[table], page * self.PAGE,
+                               payload(self.PAGE, txn))
+                    dirty.append(table)
+                # Commit: WAL append + fsync (the >90 % fsync bytes).
+                vfs.write(ctx, wal_fd, payload(rng.randint(256, 2048), 5))
+                vfs.fsync(ctx, wal_fd)
+                yield
+                if (txn + 1) % self.checkpoint_every == 0:
+                    # Checkpoint: fsync the dirtied tables.
+                    for table in set(dirty):
+                        vfs.fsync(ctx, table_fds[table])
+                    del dirty[:]
+                    yield
+            # Clean shutdown: a final checkpoint syncs everything.
+            for fd in table_fds.values():
+                vfs.fsync(ctx, fd)
+                vfs.close(ctx, fd)
+            vfs.fsync(ctx, wal_fd)
+            vfs.close(ctx, wal_fd)
+            yield
+
+        return body
+
+
+class _KernelTree(Workload):
+    """Shared synthetic source tree for the kernel benchmarks."""
+
+    dirs = 24
+    files_per_dir = 30
+    mean_source_size = 12 << 10
+
+    def source_paths(self):
+        return [
+            "/src/d%02d/file%03d.c" % (d, i)
+            for d in range(self.dirs)
+            for i in range(self.files_per_dir)
+        ]
+
+    def prepare(self, vfs, ctx):
+        rng = self.rng(stream=99)
+        vfs.mkdir(ctx, "/src")
+        for d in range(self.dirs):
+            vfs.mkdir(ctx, "/src/d%02d" % d)
+        for path in self.source_paths():
+            size = max(512, int(rng.gammavariate(2.0,
+                                                 self.mean_source_size / 2.0)))
+            vfs.write_file(ctx, path, payload(size, 11))
+
+
+class KernelGrep(_KernelTree):
+    """grep -r for an absent pattern: read every byte of the tree."""
+
+    name = "kernel-grep"
+
+    def make_thread_body(self, vfs, thread_id):
+        paths = self.source_paths()[thread_id :: self.threads]
+
+        def body(ctx):
+            needle = b"\xde\xad\xbe\xef-absent"
+            for path in paths:
+                fd = vfs.open(ctx, path, f.O_RDONLY)
+                while True:
+                    chunk = vfs.read(ctx, fd, 64 << 10)
+                    if not chunk:
+                        break
+                    assert needle not in chunk
+                vfs.close(ctx, fd)
+                yield
+
+        return body
+
+
+class KernelMake(_KernelTree):
+    """make: read each source (plus headers), write an object file."""
+
+    name = "kernel-make"
+
+    def make_thread_body(self, vfs, thread_id):
+        paths = self.source_paths()[thread_id :: self.threads]
+        rng = self.rng(thread_id)
+
+        def body(ctx):
+            for path in paths:
+                # Read the translation unit and a few "headers".
+                fd = vfs.open(ctx, path, f.O_RDONLY)
+                while vfs.read(ctx, fd, 64 << 10):
+                    pass
+                vfs.close(ctx, fd)
+                for _ in range(3):
+                    header = self.source_paths()[
+                        zipf_index(rng, self.dirs * self.files_per_dir)
+                    ]
+                    hfd = vfs.open(ctx, header, f.O_RDONLY)
+                    vfs.read(ctx, hfd, 16 << 10)
+                    vfs.close(ctx, hfd)
+                # Emit the object file (lazy write, no fsync -- make
+                # never syncs).
+                obj = path.replace(".c", ".o")
+                size = max(1024, int(rng.gammavariate(2.0, 8192)))
+                vfs.write_file(ctx, obj, payload(size, 13))
+                yield
+
+        return body

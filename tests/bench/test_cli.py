@@ -1,0 +1,62 @@
+"""Tests for the command-line entry points."""
+
+import io
+import os
+import tempfile
+from contextlib import redirect_stdout
+
+import pytest
+
+from repro import cli, tracetool
+
+
+def run_cli(argv):
+    out = io.StringIO()
+    with redirect_stdout(out):
+        code = cli.main(argv)
+    return code, out.getvalue()
+
+
+def test_cli_list():
+    code, out = run_cli(["--list"])
+    assert code == 0
+    for name in ("fig1", "fig7", "fig13", "abl-policy"):
+        assert name in out
+
+
+def test_cli_no_args_lists():
+    code, out = run_cli([])
+    assert code == 0
+    assert "fig1" in out
+
+
+def test_cli_unknown_experiment():
+    code, _ = run_cli(["fig99"])
+    assert code == 2
+
+
+def test_cli_runs_smallest_experiment():
+    code, out = run_cli(["fig2", "--no-check"])
+    assert code == 0
+    assert "Figure 2" in out
+    assert "tpcc" in out
+
+
+def test_tracetool_synth_stats_roundtrip(tmp_path):
+    trace_file = str(tmp_path / "t.trace")
+    assert tracetool.main(["synth", "lasr", "-o", trace_file,
+                           "--ops", "300"]) == 0
+    out = io.StringIO()
+    with redirect_stdout(out):
+        assert tracetool.main(["stats", trace_file]) == 0
+    assert "fsync bytes:    0.0%" in out.getvalue()
+
+
+def test_tracetool_replay(tmp_path):
+    trace_file = str(tmp_path / "t.trace")
+    tracetool.main(["synth", "facebook", "-o", trace_file, "--ops", "200"])
+    out = io.StringIO()
+    with redirect_stdout(out):
+        assert tracetool.main(["replay", trace_file, "--fs", "pmfs",
+                               "--device-mb", "64"]) == 0
+    assert "simulated elapsed" in out.getvalue()

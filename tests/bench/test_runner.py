@@ -1,0 +1,106 @@
+"""Tests for the experiment runner and registry plumbing."""
+
+import pytest
+
+from repro.bench.experiments.common import SCALES, SMALL, personality_kwargs
+from repro.bench.registry import EXPERIMENTS
+from repro.bench.runner import FS_NAMES, build_stack, run_workload
+from repro.engine.env import SimEnv
+from repro.nvmm.config import NVMMConfig
+from repro.workloads.filebench import Fileserver
+from repro.workloads.fio import FioWorkload
+
+
+@pytest.mark.parametrize("fs_name", FS_NAMES)
+def test_build_stack_every_fs(fs_name):
+    env = SimEnv()
+    fs, vfs = build_stack(env, fs_name, NVMMConfig(), 32 << 20)
+    from repro.engine.context import ExecContext
+
+    ctx = ExecContext(env, "t")
+    vfs.write_file(ctx, "/x", b"hello")
+    assert vfs.read_file(ctx, "/x") == b"hello"
+
+
+def test_build_stack_unknown_fs():
+    with pytest.raises(ValueError):
+        build_stack(SimEnv(), "zfs", NVMMConfig(), 32 << 20)
+
+
+def test_run_workload_measures_only_after_prepare():
+    workload = FioWorkload(io_size=4096, file_size=1 << 20, ops_per_thread=50)
+    result = run_workload("pmfs", workload, device_size=32 << 20)
+    # Prepare wrote 1 MiB but measurement starts afterwards: the measured
+    # NVMM write bytes reflect only the fio ops (plus journaling).
+    assert result.stats.bytes_written_nvmm < 1 << 20
+    assert result.ops >= 50
+    assert result.elapsed_ns > 0
+    assert result.throughput > 0
+
+
+def test_run_workload_duration_deadline():
+    workload = Fileserver(threads=1, files_per_thread=5,
+                          duration_ops=1_000_000)
+    result = run_workload("pmfs", workload, device_size=64 << 20,
+                          duration_ns=20_000_000)
+    assert result.elapsed_ns <= 40_000_000  # one op past the deadline
+
+
+def test_run_workload_deterministic():
+    def once():
+        workload = Fileserver(threads=2, files_per_thread=5, duration_ops=10)
+        return run_workload("hinfs", workload, device_size=64 << 20)
+
+    first, second = once(), once()
+    assert first.ops == second.ops
+    assert first.elapsed_ns == second.elapsed_ns
+    assert first.stats.bytes_written_nvmm == second.stats.bytes_written_nvmm
+
+
+def test_run_workload_unmount_drains():
+    workload = Fileserver(threads=1, files_per_thread=5, duration_ops=5)
+    kept = run_workload("hinfs", workload, device_size=64 << 20)
+    workload = Fileserver(threads=1, files_per_thread=5, duration_ops=5)
+    drained = run_workload("hinfs", workload, device_size=64 << 20,
+                           unmount=True)
+    assert drained.stats.bytes_written_nvmm >= kept.stats.bytes_written_nvmm
+
+
+def test_sync_mount_makes_writes_eager():
+    workload = Fileserver(threads=1, files_per_thread=5, duration_ops=5)
+    result = run_workload("hinfs", workload, device_size=64 << 20,
+                          sync_mount=True)
+    assert result.stats.count("hinfs_sync_writes") > 0
+    assert result.stats.count("hinfs_lazy_writes") == 0
+
+
+def test_registry_lists_every_paper_figure():
+    assert set(EXPERIMENTS) == {
+        "fig1", "fig2", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+        "fig12", "fig13", "abl-policy", "abl-watermark",
+    }
+    for module in EXPERIMENTS.values():
+        assert hasattr(module, "run")
+        assert hasattr(module, "check_shape")
+
+
+def test_scales_expose_paper_ratios():
+    assert set(SCALES) == {"small", "medium"}
+    for scale in SCALES.values():
+        assert scale.buffer_bytes < scale.device_size
+        assert scale.hinfs_config().buffer_bytes == scale.buffer_bytes
+
+
+def test_personality_kwargs_cover_all():
+    for name in ("fileserver", "webserver", "webproxy", "varmail"):
+        kwargs = personality_kwargs(SMALL, name)
+        assert kwargs["files_per_thread"] > 0
+    with pytest.raises(ValueError):
+        personality_kwargs(SMALL, "dbserver")
+
+
+def test_fsync_byte_fraction_zero_without_writes():
+    workload = FioWorkload(io_size=64, file_size=1 << 20, read_fraction=1.0,
+                           ops_per_thread=10)
+    result = run_workload("pmfs", workload, device_size=32 << 20)
+    assert result.fsync_byte_fraction == 0.0

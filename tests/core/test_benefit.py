@@ -1,0 +1,125 @@
+"""Unit tests for the Buffer Benefit Model and ghost buffer."""
+
+import pytest
+
+from repro.core.benefit import STATE_EAGER, STATE_LAZY, BufferBenefitModel
+from repro.core.config import HiNFSConfig
+from repro.engine.env import SimEnv
+from repro.nvmm.config import NVMMConfig
+
+SEC = 1_000_000_000
+
+
+@pytest.fixture()
+def model():
+    return BufferBenefitModel(SimEnv(), NVMMConfig(), HiNFSConfig())
+
+
+def test_blocks_start_lazy(model):
+    assert model.state_of(1, 0) == STATE_LAZY
+    assert not model.is_eager(1, 0, now_ns=0, file_last_sync_ns=0)
+
+
+def test_no_coalescing_sync_makes_block_eager(model):
+    """One line written, immediately synced: N_cw == N_cf == 1, so
+    Inequality (1) fails and the block goes Eager-Persistent."""
+    model.record_write(1, 0, 0, 64, now_ns=100)
+    assert model.on_sync(1, 0, now_ns=200) == STATE_EAGER
+    assert model.is_eager(1, 0, now_ns=300, file_last_sync_ns=200)
+
+
+def test_coalesced_writes_keep_block_lazy(model):
+    """The same line written 10 times then synced: N_cw = 10, N_cf = 1,
+    buffering wins."""
+    for i in range(10):
+        model.record_write(1, 0, 0, 64, now_ns=100 + i)
+    assert model.on_sync(1, 0, now_ns=200) == STATE_LAZY
+    assert not model.is_eager(1, 0, now_ns=300, file_last_sync_ns=200)
+
+
+def test_append_pattern_goes_eager(model):
+    """Varmail-style appends: every line written once before each sync,
+    no coalescing -> eager."""
+    offset = 0
+    for _ in range(3):
+        model.record_write(1, 0, offset % 4096, 64, now_ns=100)
+        model.on_sync(1, 0, now_ns=200)
+        offset += 64
+    assert model.state_of(1, 0) == STATE_EAGER
+
+
+def test_eager_reverts_after_quiet_period(model):
+    model.record_write(1, 0, 0, 64, now_ns=0)
+    model.on_sync(1, 0, now_ns=1)
+    assert model.state_of(1, 0) == STATE_EAGER
+    # 6 s later with no sync on the file: revert to lazy (5 s default).
+    assert not model.is_eager(1, 0, now_ns=6 * SEC, file_last_sync_ns=1)
+    assert model.state_of(1, 0) == STATE_LAZY
+
+
+def test_eager_persists_while_syncs_keep_coming(model):
+    model.record_write(1, 0, 0, 64, now_ns=0)
+    model.on_sync(1, 0, now_ns=1)
+    assert model.is_eager(1, 0, now_ns=2 * SEC, file_last_sync_ns=int(1.9 * SEC))
+
+
+def test_old_writes_assumed_flushed_by_background(model):
+    """If the last write is older than the periodic flush age, the sync
+    would have found the block already clean: N_cf = 0 -> lazy wins."""
+    model.record_write(1, 0, 0, 64, now_ns=0)
+    assert model.on_sync(1, 0, now_ns=40 * SEC) == STATE_LAZY
+
+
+def test_accuracy_tracking(model):
+    # Sync 1: outcome eager (first evaluation, no prediction yet).
+    model.record_write(1, 0, 0, 64, now_ns=0)
+    model.on_sync(1, 0, now_ns=1)
+    assert model.accuracy is None
+    # Sync 2: same pattern -> same outcome -> accurate.
+    model.record_write(1, 0, 0, 64, now_ns=2)
+    model.on_sync(1, 0, now_ns=3)
+    assert model.accuracy == 1.0
+    # Sync 3: heavy coalescing -> lazy -> prediction flips -> inaccurate.
+    for i in range(10):
+        model.record_write(1, 0, 0, 64, now_ns=4 + i)
+    model.on_sync(1, 0, now_ns=20)
+    assert model.accuracy == pytest.approx(0.5)
+
+
+def test_pending_blocks_resets(model):
+    model.record_write(1, 3, 0, 64, now_ns=0)
+    model.record_write(1, 7, 0, 64, now_ns=0)
+    assert model.pending_blocks(1) == [3, 7]
+    assert model.pending_blocks(1) == []
+
+
+def test_drop_file_forgets_state(model):
+    model.record_write(1, 0, 0, 64, now_ns=0)
+    model.drop_file(1)
+    assert model.state_of(1, 0) == STATE_LAZY
+    assert model.pending_blocks(1) == []
+
+
+def test_checker_disabled_never_eager():
+    model = BufferBenefitModel(
+        SimEnv(), NVMMConfig(), HiNFSConfig(enable_eager_checker=False)
+    )
+    model.record_write(1, 0, 0, 64, now_ns=0)
+    model.on_sync(1, 0, now_ns=1)
+    assert not model.is_eager(1, 0, now_ns=2, file_last_sync_ns=1)
+
+
+def test_ghost_capacity_bounded():
+    model = BufferBenefitModel(
+        SimEnv(), NVMMConfig(), HiNFSConfig(), max_entries=10
+    )
+    for fb in range(50):
+        model.record_write(1, fb, 0, 64, now_ns=0)
+    assert len(model._entries) <= 10
+
+
+def test_inequality_arithmetic_edge():
+    """N_cw = 0 (sync with no intervening writes) must not divide by zero
+    and counts as 'no benefit' -> eager."""
+    model = BufferBenefitModel(SimEnv(), NVMMConfig(), HiNFSConfig())
+    assert model.on_sync(9, 0, now_ns=100) == STATE_EAGER

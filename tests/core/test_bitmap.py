@@ -1,0 +1,152 @@
+"""Unit and property tests for the Cacheline Bitmap."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bitmap import (
+    FULL_MASK,
+    CachelineBitmap,
+    fully_covered_mask,
+    iter_runs,
+    iter_valid_runs,
+    line_range_mask,
+    popcount,
+)
+from repro.nvmm.config import BLOCK_SIZE, CACHELINE_SIZE, LINES_PER_BLOCK
+
+
+def test_line_range_mask_single_line():
+    assert line_range_mask(0, 64) == 0b1
+    assert line_range_mask(64, 64) == 0b10
+    assert line_range_mask(10, 5) == 0b1
+
+
+def test_line_range_mask_paper_example():
+    # The paper's example: writing bytes 0..112 touches lines 0 and 1.
+    assert line_range_mask(0, 112) == 0b11
+
+
+def test_line_range_mask_straddle():
+    assert line_range_mask(60, 8) == 0b11
+
+
+def test_line_range_mask_empty():
+    assert line_range_mask(0, 0) == 0
+
+
+def test_fully_covered_mask():
+    # 0..112 fully covers only line 0 (line 1 is partial).
+    assert fully_covered_mask(0, 112) == 0b1
+    # 0..128 fully covers lines 0 and 1.
+    assert fully_covered_mask(0, 128) == 0b11
+    # 60..68 covers no full line.
+    assert fully_covered_mask(60, 8) == 0
+    assert fully_covered_mask(0, BLOCK_SIZE) == FULL_MASK
+
+
+def test_mark_written_sets_valid_and_dirty():
+    bm = CachelineBitmap()
+    bm.mark_written(0, 112)
+    assert bm.valid == 0b11
+    assert bm.dirty == 0b11
+    assert bm.dirty_lines == 2
+
+
+def test_mark_fetched_sets_only_valid():
+    bm = CachelineBitmap()
+    bm.mark_fetched(0b100)
+    assert bm.valid == 0b100
+    assert bm.dirty == 0
+
+
+def test_fetch_needed_paper_example():
+    """Paper 3.2.1: writing 0..112 B needs only the second cacheline
+    (64..128) fetched, not the whole block."""
+    bm = CachelineBitmap()
+    assert bm.fetch_needed(0, 112) == 0b10
+
+
+def test_fetch_needed_aligned_write_needs_nothing():
+    bm = CachelineBitmap()
+    assert bm.fetch_needed(0, 128) == 0
+    assert bm.fetch_needed(0, BLOCK_SIZE) == 0
+
+
+def test_fetch_needed_skips_already_valid():
+    bm = CachelineBitmap()
+    bm.mark_fetched(0b10)
+    assert bm.fetch_needed(0, 112) == 0
+
+
+def test_fetch_needed_interior_unaligned():
+    # Write 100..200: touches lines 1,2,3? 100//64=1, 199//64=3.
+    # Fully covered: ceil(100/64)=2 .. 200//64=3 -> line 2 only.
+    bm = CachelineBitmap()
+    assert bm.fetch_needed(100, 100) == 0b1010
+
+
+def test_clean_keeps_valid():
+    bm = CachelineBitmap()
+    bm.mark_written(0, 4096)
+    bm.clean()
+    assert bm.dirty == 0
+    assert bm.valid == FULL_MASK
+
+
+def test_iter_runs():
+    assert list(iter_runs(0b1)) == [(0, 1)]
+    assert list(iter_runs(0b1011)) == [(0, 2), (3, 1)]
+    assert list(iter_runs(0)) == []
+    assert list(iter_runs(FULL_MASK)) == [(0, LINES_PER_BLOCK)]
+
+
+def test_iter_valid_runs_covers_everything():
+    runs = list(iter_valid_runs(0b1100))
+    assert runs == [(0, 2, False), (2, 2, True), (4, 60, False)]
+    assert sum(n for _, n, _ in runs) == LINES_PER_BLOCK
+
+
+def test_popcount():
+    assert popcount(0) == 0
+    assert popcount(0b1011) == 3
+    assert popcount(FULL_MASK) == LINES_PER_BLOCK
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    offset=st.integers(min_value=0, max_value=BLOCK_SIZE - 1),
+    length=st.integers(min_value=1, max_value=BLOCK_SIZE),
+)
+def test_mask_algebra(offset, length):
+    length = min(length, BLOCK_SIZE - offset)
+    touched = line_range_mask(offset, length)
+    full = fully_covered_mask(offset, length)
+    # Fully-covered lines are a subset of touched lines.
+    assert full & ~touched == 0
+    # Every byte of the range lies in a touched line.
+    for byte in (offset, offset + length - 1):
+        assert (touched >> (byte // CACHELINE_SIZE)) & 1
+    # A fully covered line contributes exactly 64 bytes to the range.
+    assert popcount(full) * CACHELINE_SIZE <= length
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    writes=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=BLOCK_SIZE - 1),
+            st.integers(min_value=1, max_value=512),
+        ),
+        max_size=20,
+    )
+)
+def test_dirty_subset_of_valid_invariant(writes):
+    bm = CachelineBitmap()
+    for offset, length in writes:
+        length = min(length, BLOCK_SIZE - offset)
+        fetch = bm.fetch_needed(offset, length)
+        bm.mark_fetched(fetch)
+        bm.mark_written(offset, length)
+        assert bm.dirty & ~bm.valid == 0
+    bm.clean()
+    assert bm.dirty == 0

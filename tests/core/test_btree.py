@@ -1,0 +1,112 @@
+"""Unit and property tests for the DRAM Block Index B-tree."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.btree import BTree
+
+
+def test_empty_tree():
+    tree = BTree()
+    assert len(tree) == 0
+    assert tree.get(1) is None
+    assert 1 not in tree
+    assert tree.items() == []
+
+
+def test_insert_and_get():
+    tree = BTree()
+    assert tree.insert(5, "five")
+    assert tree.get(5) == "five"
+    assert 5 in tree
+    assert len(tree) == 1
+
+
+def test_insert_replaces():
+    tree = BTree()
+    tree.insert(5, "a")
+    assert not tree.insert(5, "b")
+    assert tree.get(5) == "b"
+    assert len(tree) == 1
+
+
+def test_remove_returns_value():
+    tree = BTree()
+    tree.insert(7, "seven")
+    assert tree.remove(7) == "seven"
+    assert tree.get(7) is None
+    assert len(tree) == 0
+
+
+def test_remove_missing_returns_none():
+    tree = BTree()
+    tree.insert(1, "x")
+    assert tree.remove(2) is None
+    assert len(tree) == 1
+
+
+def test_items_sorted():
+    tree = BTree(min_degree=2)
+    for key in [5, 1, 9, 3, 7, 2, 8]:
+        tree.insert(key, key * 10)
+    assert tree.keys() == [1, 2, 3, 5, 7, 8, 9]
+    assert tree.items()[0] == (1, 10)
+
+
+def test_many_inserts_keep_invariants():
+    tree = BTree(min_degree=2)
+    for key in range(500):
+        tree.insert(key * 37 % 1000, key)
+    tree.check_invariants()
+
+
+def test_sequential_insert_then_delete_all():
+    tree = BTree(min_degree=3)
+    for key in range(200):
+        tree.insert(key, str(key))
+    for key in range(200):
+        assert tree.remove(key) == str(key)
+        tree.check_invariants()
+    assert len(tree) == 0
+
+
+def test_min_degree_validation():
+    with pytest.raises(ValueError):
+        BTree(min_degree=1)
+
+
+def test_clear():
+    tree = BTree()
+    tree.insert(1, "a")
+    tree.clear()
+    assert len(tree) == 0
+    assert tree.get(1) is None
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["insert", "remove", "get"]),
+            st.integers(min_value=0, max_value=60),
+        ),
+        max_size=200,
+    ),
+    degree=st.integers(min_value=2, max_value=6),
+)
+def test_btree_matches_dict_model(ops, degree):
+    """The B-tree must behave exactly like a dict, with invariants held."""
+    tree = BTree(min_degree=degree)
+    model = {}
+    for op, key in ops:
+        if op == "insert":
+            tree.insert(key, key * 2)
+            model[key] = key * 2
+        elif op == "remove":
+            assert tree.remove(key) == model.pop(key, None)
+        else:
+            assert tree.get(key) == model.get(key)
+        assert len(tree) == len(model)
+    tree.check_invariants()
+    assert tree.items() == sorted(model.items())

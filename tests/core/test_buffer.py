@@ -1,0 +1,103 @@
+"""Unit tests for the DRAM write buffer and its DRAM Block Index."""
+
+import pytest
+
+from repro.core.buffer import WriteBuffer
+from repro.core.config import HiNFSConfig
+from repro.engine.context import ExecContext
+from repro.engine.env import SimEnv
+from repro.nvmm.config import NVMMConfig
+
+
+class Rig:
+    def __init__(self, blocks=16):
+        self.env = SimEnv()
+        self.buffer = WriteBuffer(self.env, NVMMConfig(),
+                                  HiNFSConfig(buffer_bytes=blocks * 4096))
+        self.ctx = ExecContext(self.env, "t")
+
+
+@pytest.fixture()
+def rig():
+    return Rig()
+
+
+def test_insert_and_lookup(rig):
+    block = rig.buffer.insert(1, 5, nvmm_block=100)
+    assert rig.buffer.lookup(1, 5) is block
+    assert rig.buffer.lookup(1, 6) is None
+    assert rig.buffer.lookup(2, 5) is None
+    assert rig.buffer.used_blocks == 1
+
+
+def test_evict_frees_frame_and_index(rig):
+    block = rig.buffer.insert(1, 5, nvmm_block=100)
+    rig.buffer.evict(block)
+    assert rig.buffer.lookup(1, 5) is None
+    assert rig.buffer.used_blocks == 0
+    assert rig.buffer.free_blocks == rig.buffer.blocks_total
+
+
+def test_insert_without_space_is_a_bug(rig):
+    for i in range(rig.buffer.blocks_total):
+        rig.buffer.insert(1, i, nvmm_block=i)
+    with pytest.raises(RuntimeError):
+        rig.buffer.insert(1, 999, nvmm_block=999)
+
+
+def test_file_blocks_sorted_by_offset(rig):
+    for fb in (9, 2, 5):
+        rig.buffer.insert(3, fb, nvmm_block=fb)
+    assert [b.file_block for b in rig.buffer.file_blocks(3)] == [2, 5, 9]
+    assert rig.buffer.file_blocks(99) == []
+
+
+def test_write_into_roundtrip_and_state(rig):
+    block = rig.buffer.insert(1, 0, nvmm_block=50)
+    rig.buffer.write_into(rig.ctx, block, 100, b"hello", now_ns=77)
+    assert rig.buffer.read_from(rig.ctx, block, 100, 5) == b"hello"
+    assert block.is_dirty
+    assert block.last_written_ns == 77
+    assert rig.env.stats.bytes_written_dram == 5
+
+
+def test_write_into_charges_per_cacheline(rig):
+    block = rig.buffer.insert(1, 0, nvmm_block=50)
+    before = rig.ctx.now
+    # 5 bytes straddling a line boundary: 2 lines charged.
+    rig.buffer.write_into(rig.ctx, block, 62, b"abcde", now_ns=0)
+    per_line = rig.buffer.dram.config.dram_store_cost_ns(64)
+    assert rig.ctx.now - before == 2 * per_line
+
+
+def test_watermarks(rig):
+    config = rig.buffer.config
+    assert not rig.buffer.below_low_watermark
+    while rig.buffer.free_blocks >= config.low_blocks:
+        rig.buffer.insert(1, rig.buffer.used_blocks, nvmm_block=1)
+    assert rig.buffer.below_low_watermark
+    assert not rig.buffer.at_high_watermark
+
+
+def test_dirty_block_count(rig):
+    a = rig.buffer.insert(1, 0, nvmm_block=1)
+    rig.buffer.insert(1, 1, nvmm_block=2)
+    rig.buffer.write_into(rig.ctx, a, 0, b"x", now_ns=0)
+    assert rig.buffer.dirty_block_count() == 1
+
+
+def test_victim_order_follows_writes(rig):
+    a = rig.buffer.insert(1, 0, nvmm_block=1)
+    b = rig.buffer.insert(1, 1, nvmm_block=2)
+    rig.buffer.write_into(rig.ctx, a, 0, b"x", now_ns=1)
+    rig.buffer.write_into(rig.ctx, b, 0, b"y", now_ns=2)
+    rig.buffer.write_into(rig.ctx, a, 64, b"z", now_ns=3)
+    order = rig.buffer.all_blocks_lrw_order()
+    assert order[0] is b  # least recently written
+
+
+def test_index_is_per_file(rig):
+    rig.buffer.insert(1, 0, nvmm_block=1)
+    rig.buffer.insert(2, 0, nvmm_block=2)
+    assert rig.buffer.lookup(1, 0).nvmm_block == 1
+    assert rig.buffer.lookup(2, 0).nvmm_block == 2

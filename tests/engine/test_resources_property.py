@@ -1,0 +1,74 @@
+"""Property tests for the gap-aware FCFS servers."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.resources import FCFSServers
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    capacity=st.integers(min_value=1, max_value=4),
+    requests=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=10_000),
+                  st.integers(min_value=0, max_value=500)),
+        min_size=1,
+        max_size=60,
+    ),
+)
+def test_grants_never_overlap_beyond_capacity(capacity, requests):
+    """At any instant, at most ``capacity`` reservations are active."""
+    servers = FCFSServers(capacity)
+    grants = []
+    for request_ns, duration_ns in sorted(requests):
+        grant = servers.reserve(request_ns, duration_ns)
+        assert grant.start_ns >= request_ns
+        assert grant.duration_ns == duration_ns
+        if duration_ns:
+            grants.append((grant.start_ns, grant.end_ns))
+    events = []
+    for start, end in grants:
+        events.append((start, 1))
+        events.append((end, -1))
+    active = 0
+    for _, delta in sorted(events, key=lambda e: (e[0], e[1])):
+        active += delta
+        assert active <= capacity
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    future=st.integers(min_value=10_000, max_value=100_000),
+    small=st.integers(min_value=1, max_value=64),
+)
+def test_small_request_slips_into_gap_before_future_booking(future, small):
+    """A booking far in the virtual future must not delay a small
+    request happening now (the starvation bug the interval timelines
+    fixed)."""
+    servers = FCFSServers(1)
+    servers.reserve(future, 1_000)
+    grant = servers.reserve(0, small)
+    assert grant.start_ns == 0
+    assert grant.end_ns <= future or small > future
+
+
+@settings(max_examples=60, deadline=None)
+@given(durations=st.lists(st.integers(min_value=1, max_value=200),
+                          min_size=2, max_size=40))
+def test_sequential_single_client_is_contiguous(durations):
+    """One client issuing back-to-back work gets a dense schedule."""
+    servers = FCFSServers(3)
+    now = 0
+    for duration in durations:
+        grant = servers.reserve(now, duration)
+        assert grant.start_ns == now  # capacity 3, one client: no wait
+        now = grant.end_ns
+    assert now == sum(durations)
+
+
+def test_interval_history_is_bounded():
+    servers = FCFSServers(1)
+    for i in range(10_000):
+        servers.reserve(i * 10, 5)
+    timeline = servers._servers[0]
+    assert len(timeline.starts) <= 128

@@ -1,0 +1,71 @@
+"""Unit tests for statistics accumulation."""
+
+import pytest
+
+from repro.engine.stats import SimStats, TimeBreakdown
+
+
+def test_breakdown_accumulates():
+    bd = TimeBreakdown()
+    bd.add("write_access", 100)
+    bd.add("write_access", 50)
+    bd.add("others", 50)
+    assert bd.get("write_access") == 150
+    assert bd.total() == 200
+
+
+def test_breakdown_fractions():
+    bd = TimeBreakdown()
+    bd.add("a", 75)
+    bd.add("b", 25)
+    fr = bd.fractions()
+    assert fr["a"] == pytest.approx(0.75)
+    assert fr["b"] == pytest.approx(0.25)
+
+
+def test_breakdown_empty_fractions():
+    assert TimeBreakdown().fractions() == {}
+
+
+def test_breakdown_zero_add_ignored():
+    bd = TimeBreakdown()
+    bd.add("a", 0)
+    assert bd.as_dict() == {}
+
+
+def test_breakdown_merge():
+    a = TimeBreakdown()
+    a.add("x", 10)
+    b = TimeBreakdown()
+    b.add("x", 5)
+    b.add("y", 1)
+    a.merge(b)
+    assert a.get("x") == 15
+    assert a.get("y") == 1
+
+
+def test_stats_counters():
+    stats = SimStats()
+    stats.bump("buffer_hits")
+    stats.bump("buffer_hits", 2)
+    assert stats.count("buffer_hits") == 3
+    assert stats.count("missing") == 0
+
+
+def test_stats_throughput():
+    stats = SimStats()
+    stats.ops_completed = 500
+    assert stats.throughput_ops_per_sec(1_000_000_000) == pytest.approx(500.0)
+    assert stats.throughput_ops_per_sec(0) == 0.0
+
+
+def test_stats_summary_is_plain_data():
+    stats = SimStats()
+    stats.bump("c")
+    stats.add_time("write_access", 7)
+    stats.add_syscall_time("fsync", 9)
+    summary = stats.summary()
+    assert summary["counters"] == {"c": 1}
+    assert summary["breakdown"] == {"write_access": 7}
+    assert summary["syscall_time_ns"] == {"fsync": 9}
+    assert summary["syscall_counts"] == {"fsync": 1}

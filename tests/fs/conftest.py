@@ -1,0 +1,47 @@
+"""Shared fixtures for file-system tests."""
+
+import pytest
+
+from repro.engine.context import ExecContext
+from repro.engine.env import SimEnv
+from repro.fs.pmfs import PMFS
+from repro.fs.vfs import VFS
+from repro.nvmm.config import NVMMConfig
+from repro.nvmm.device import NVMMDevice
+
+
+class PmfsRig:
+    """One env + device + PMFS + VFS + a foreground context."""
+
+    def __init__(self, size=32 << 20, config=None, fs_cls=PMFS, **fs_kwargs):
+        self.env = SimEnv()
+        self.config = config or NVMMConfig()
+        self.device = NVMMDevice(self.env, self.config, size)
+        self.fs_kwargs = fs_kwargs
+        self.fs = fs_cls(self.env, self.device, self.config, **fs_kwargs)
+        self.vfs = VFS(self.env, self.fs, self.config)
+        self.ctx = ExecContext(self.env, "test")
+
+    def remount(self, fs_cls=None, **fs_kwargs):
+        """Crash-less remount: rebuild all DRAM state from NVMM."""
+        from repro.engine.background import BackgroundRegistry
+
+        # The old file system instance is dead; its background writeback
+        # timeline must not keep flushing stale DRAM into the new image.
+        self.env.background = BackgroundRegistry()
+        fs_cls = fs_cls or type(self.fs)
+        merged = dict(self.fs_kwargs)
+        merged.update(fs_kwargs)
+        self.fs = fs_cls.mount(self.env, self.device, self.config, **merged)
+        self.vfs = VFS(self.env, self.fs, self.config)
+        return self.fs
+
+    def crash_and_remount(self, evict_lines=(), fs_cls=None, **fs_kwargs):
+        """Power-fail the device, then mount (journal recovery runs)."""
+        self.device.crash(evict_lines)
+        return self.remount(fs_cls=fs_cls, **fs_kwargs)
+
+
+@pytest.fixture()
+def rig():
+    return PmfsRig()

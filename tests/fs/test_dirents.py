@@ -1,0 +1,107 @@
+"""Unit and property tests for the packed-dirent directories."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fs.errors import ExistsError, NotFound
+from repro.fs.pmfs.layout import (
+    DIRENT_NAME_MAX,
+    pack_dirent,
+    pack_empty_dirent,
+    unpack_dirent,
+)
+
+from tests.fs.conftest import PmfsRig
+
+
+def test_pack_unpack_roundtrip():
+    raw = pack_dirent(42, "hello.txt")
+    assert unpack_dirent(raw) == (42, "hello.txt")
+
+
+def test_unpack_empty_slot():
+    assert unpack_dirent(pack_empty_dirent()) is None
+
+
+def test_name_too_long_rejected():
+    with pytest.raises(ValueError):
+        pack_dirent(1, "x" * (DIRENT_NAME_MAX + 1))
+
+
+def test_max_length_name_ok():
+    name = "n" * DIRENT_NAME_MAX
+    assert unpack_dirent(pack_dirent(7, name)) == (7, name)
+
+
+def test_unicode_names():
+    raw = pack_dirent(9, "файл")
+    assert unpack_dirent(raw) == (9, "файл")
+
+
+def test_directory_add_remove_through_fs(rig):
+    rig.vfs.mkdir(rig.ctx, "/d")
+    directory = rig.fs._dir(rig.vfs.stat(rig.ctx, "/d").ino)
+    tx = rig.fs.journal.begin(rig.ctx)
+    directory.add(rig.ctx, tx, "a", 100)
+    directory.add(rig.ctx, tx, "b", 101)
+    rig.fs.journal.commit(rig.ctx, tx)
+    assert directory.lookup("a") == 100
+    assert len(directory) == 2
+    tx = rig.fs.journal.begin(rig.ctx)
+    assert directory.remove(rig.ctx, tx, "a") == 100
+    rig.fs.journal.commit(rig.ctx, tx)
+    assert directory.lookup("a") is None
+
+
+def test_duplicate_add_rejected(rig):
+    directory = rig.fs._dir(1)
+    tx = rig.fs.journal.begin(rig.ctx)
+    directory.add(rig.ctx, tx, "dup", 5)
+    with pytest.raises(ExistsError):
+        directory.add(rig.ctx, tx, "dup", 6)
+    rig.fs.journal.commit(rig.ctx, tx)
+
+
+def test_remove_missing_rejected(rig):
+    directory = rig.fs._dir(1)
+    tx = rig.fs.journal.begin(rig.ctx)
+    with pytest.raises(NotFound):
+        directory.remove(rig.ctx, tx, "ghost")
+    rig.fs.journal.commit(rig.ctx, tx)
+
+
+def test_slots_reused_after_removal(rig):
+    """Removing then adding keeps the directory from growing unboundedly."""
+    for i in range(100):
+        rig.vfs.write_file(rig.ctx, "/cycle", b"x")
+        rig.vfs.unlink(rig.ctx, "/cycle")
+    root = rig.fs._dir(1)
+    assert root.inode.size <= 64 * 4  # a handful of slots, not 100
+
+
+@settings(max_examples=30, deadline=None)
+@given(ops=st.lists(
+    st.tuples(st.booleans(), st.integers(min_value=0, max_value=20)),
+    max_size=60,
+))
+def test_directory_matches_dict_and_rescan(ops):
+    """Directory behaves like a dict; the NVMM dirents rebuild exactly."""
+    rig = PmfsRig()
+    directory = rig.fs._dir(1)
+    model = {}
+    ino_counter = [100]
+    for is_add, slot in ops:
+        name = "n%02d" % slot
+        tx = rig.fs.journal.begin(rig.ctx)
+        if is_add and name not in model:
+            ino_counter[0] += 1
+            directory.add(rig.ctx, tx, name, ino_counter[0])
+            model[name] = ino_counter[0]
+        elif not is_add and name in model:
+            assert directory.remove(rig.ctx, tx, name) == model.pop(name)
+        rig.fs.journal.commit(rig.ctx, tx)
+    assert dict(directory.entries()) == model
+    # Rebuild from NVMM: identical contents.
+    directory.load_from_nvmm()
+    assert dict(directory.entries()) == model

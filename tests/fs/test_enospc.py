@@ -1,0 +1,74 @@
+"""Failure injection: out of space, out of inodes."""
+
+import pytest
+
+from repro.core import HiNFS, HiNFSConfig
+from repro.fs import flags as f
+from repro.fs.errors import NoSpace
+
+from tests.fs.conftest import PmfsRig
+
+
+def tiny_rig(fs_cls=None, **kw):
+    """A device with only a few MB of data blocks."""
+    if fs_cls is None:
+        return PmfsRig(size=4 << 20, journal_blocks=16, **kw)
+    return PmfsRig(size=4 << 20, fs_cls=fs_cls, journal_blocks=16, **kw)
+
+
+def test_pmfs_write_raises_enospc():
+    rig = tiny_rig()
+    fd = rig.vfs.open(rig.ctx, "/fill", f.O_CREAT | f.O_RDWR)
+    with pytest.raises(NoSpace):
+        for i in range(10_000):
+            rig.vfs.pwrite(rig.ctx, fd, i * 4096, b"x" * 4096)
+
+
+def test_enospc_leaves_fs_usable():
+    rig = tiny_rig()
+    fd = rig.vfs.open(rig.ctx, "/fill", f.O_CREAT | f.O_RDWR)
+    written = 0
+    try:
+        for i in range(10_000):
+            rig.vfs.pwrite(rig.ctx, fd, i * 4096, b"x" * 4096)
+            written += 1
+    except NoSpace:
+        pass
+    # Existing data is still readable and deletion frees space.
+    assert rig.vfs.pread(rig.ctx, fd, 0, 4096) == b"x" * 4096
+    rig.vfs.close(rig.ctx, fd)
+    rig.vfs.unlink(rig.ctx, "/fill")
+    rig.vfs.write_file(rig.ctx, "/again", b"y" * 4096)
+    assert rig.vfs.read_file(rig.ctx, "/again") == b"y" * 4096
+
+
+def test_hinfs_write_raises_enospc():
+    rig = tiny_rig(fs_cls=HiNFS, hconfig=HiNFSConfig(buffer_bytes=1 << 20))
+    fd = rig.vfs.open(rig.ctx, "/fill", f.O_CREAT | f.O_RDWR)
+    with pytest.raises(NoSpace):
+        for i in range(10_000):
+            rig.vfs.pwrite(rig.ctx, fd, i * 4096, b"x" * 4096)
+
+
+def test_hinfs_consistent_after_enospc_crash():
+    rig = tiny_rig(fs_cls=HiNFS, hconfig=HiNFSConfig(buffer_bytes=1 << 20))
+    fd = rig.vfs.open(rig.ctx, "/fill", f.O_CREAT | f.O_RDWR)
+    try:
+        for i in range(10_000):
+            rig.vfs.pwrite(rig.ctx, fd, i * 4096, b"x" * 4096)
+    except NoSpace:
+        pass
+    rig.crash_and_remount()
+    st = rig.vfs.stat(rig.ctx, "/fill")
+    assert len(rig.vfs.read_file(rig.ctx, "/fill")) == st.size
+
+
+def test_inode_exhaustion():
+    rig = PmfsRig(size=16 << 20, inode_count=260, journal_blocks=16)
+    with pytest.raises(NoSpace):
+        for i in range(1000):
+            rig.vfs.write_file(rig.ctx, "/f%04d" % i, b"")
+    # Deleting frees an inode slot for reuse.
+    rig.vfs.unlink(rig.ctx, "/f0000")
+    rig.vfs.write_file(rig.ctx, "/reborn", b"")
+    assert rig.vfs.exists(rig.ctx, "/reborn")

@@ -1,0 +1,187 @@
+"""Functional tests for EXT2/EXT4 on NVMMBD and for EXT4-DAX."""
+
+import pytest
+
+from repro.engine.context import ExecContext
+from repro.engine.env import SimEnv
+from repro.fs import flags as f
+from repro.fs.ext4dax import Ext4Dax
+from repro.fs.extfs import Ext2, Ext4
+from repro.fs.vfs import VFS
+from repro.nvmm.config import NVMMConfig
+from repro.nvmm.device import NVMMDevice
+
+
+class ExtRig:
+    def __init__(self, fs_cls, size=16 << 20, cache_pages=512):
+        self.env = SimEnv()
+        self.config = NVMMConfig()
+        self.fs = fs_cls(self.env, self.config, size, cache_pages=cache_pages)
+        self.vfs = VFS(self.env, self.fs, self.config)
+        self.ctx = ExecContext(self.env, "t")
+
+
+@pytest.fixture(params=[Ext2, Ext4], ids=["ext2", "ext4"])
+def rig(request):
+    return ExtRig(request.param)
+
+
+def test_roundtrip(rig):
+    rig.vfs.write_file(rig.ctx, "/a", b"block-based bytes" * 100)
+    assert rig.vfs.read_file(rig.ctx, "/a") == b"block-based bytes" * 100
+
+
+def test_overwrite_partial_page(rig):
+    rig.vfs.write_file(rig.ctx, "/f", b"x" * 8192)
+    fd = rig.vfs.open(rig.ctx, "/f")
+    rig.vfs.pwrite(rig.ctx, fd, 4090, b"ABCDEFGH")
+    data = rig.vfs.read_file(rig.ctx, "/f")
+    assert data[4090:4098] == b"ABCDEFGH"
+    assert data[:4090] == b"x" * 4090
+
+
+def test_read_survives_cache_eviction(rig):
+    # More data than the 512-page cache: early pages must be refetched
+    # from the device (their dirty copies flushed at eviction).
+    payload = bytes(i % 256 for i in range(1024 * 4096))
+    rig.vfs.write_file(rig.ctx, "/big", payload, chunk=1 << 16)
+    assert rig.vfs.read_file(rig.ctx, "/big") == payload
+    assert rig.env.stats.count("pagecache_dirty_evictions") > 0
+
+
+def test_unlink_and_space_reuse(rig):
+    free0 = rig.fs.balloc.free_count
+    rig.vfs.write_file(rig.ctx, "/v", b"q" * (64 * 4096))
+    rig.vfs.fsync_path = None
+    rig.vfs.unlink(rig.ctx, "/v")
+    assert rig.fs.balloc.free_count == free0
+
+
+def test_fsync_writes_through_block_layer(rig):
+    fd = rig.vfs.open(rig.ctx, "/s", f.O_CREAT | f.O_RDWR)
+    rig.vfs.write(rig.ctx, fd, b"w" * 4096)
+    bio_before = rig.env.stats.count("bio_writes")
+    rig.vfs.fsync(rig.ctx, fd)
+    assert rig.env.stats.count("bio_writes") > bio_before
+
+
+def test_directories(rig):
+    rig.vfs.mkdir(rig.ctx, "/d")
+    rig.vfs.write_file(rig.ctx, "/d/x", b"1")
+    assert dict(rig.vfs.readdir(rig.ctx, "/d")) == {
+        "x": rig.vfs.stat(rig.ctx, "/d/x").ino
+    }
+
+
+def test_truncate(rig):
+    rig.vfs.write_file(rig.ctx, "/t", b"z" * 10000)
+    rig.vfs.truncate(rig.ctx, "/t", 100)
+    assert rig.vfs.read_file(rig.ctx, "/t") == b"z" * 100
+
+
+def test_ext4_journals_on_fsync():
+    rig = ExtRig(Ext4)
+    fd = rig.vfs.open(rig.ctx, "/j", f.O_CREAT | f.O_RDWR)
+    rig.vfs.write(rig.ctx, fd, b"data")
+    rig.vfs.fsync(rig.ctx, fd)
+    assert rig.env.stats.count("jbd2_commits") >= 1
+    assert rig.env.stats.count("jbd2_blocks") >= 3
+
+
+def test_ext2_never_journals():
+    rig = ExtRig(Ext2)
+    fd = rig.vfs.open(rig.ctx, "/j", f.O_CREAT | f.O_RDWR)
+    rig.vfs.write(rig.ctx, fd, b"data")
+    rig.vfs.fsync(rig.ctx, fd)
+    assert rig.env.stats.count("jbd2_commits") == 0
+
+
+def test_ext2_fsync_cheaper_than_ext4():
+    times = {}
+    for cls in (Ext2, Ext4):
+        rig = ExtRig(cls)
+        fd = rig.vfs.open(rig.ctx, "/f", f.O_CREAT | f.O_RDWR)
+        t0 = rig.ctx.now
+        for i in range(50):
+            rig.vfs.pwrite(rig.ctx, fd, i * 4096, b"y" * 4096)
+            rig.vfs.fsync(rig.ctx, fd)
+        times[cls.name] = rig.ctx.now - t0
+    assert times["ext2"] < times["ext4"]
+
+
+def test_double_copy_read_slower_than_pmfs():
+    """Figure 7 webserver effect: a cold read through the page cache and
+    block layer costs much more than a PMFS direct read."""
+    from tests.fs.conftest import PmfsRig
+
+    ext = ExtRig(Ext2)
+    payload = b"r" * (256 * 4096)
+    ext.vfs.write_file(ext.ctx, "/r", payload, chunk=1 << 16)
+    ext.vfs.unmount(ext.ctx)
+    ext.fs.cache.drop_file(ext.vfs.stat(ext.ctx, "/r").ino)  # cold cache
+    t0 = ext.ctx.now
+    assert ext.vfs.read_file(ext.ctx, "/r", chunk=1 << 16) == payload
+    ext_time = ext.ctx.now - t0
+
+    pm = PmfsRig()
+    pm.vfs.write_file(pm.ctx, "/r", payload, chunk=1 << 16)
+    t0 = pm.ctx.now
+    assert pm.vfs.read_file(pm.ctx, "/r", chunk=1 << 16) == payload
+    pmfs_time = pm.ctx.now - t0
+    assert ext_time > 2 * pmfs_time
+
+
+class DaxRig:
+    def __init__(self, size=16 << 20):
+        self.env = SimEnv()
+        self.config = NVMMConfig()
+        self.device = NVMMDevice(self.env, self.config, size)
+        self.fs = Ext4Dax(self.env, self.device, self.config)
+        self.vfs = VFS(self.env, self.fs, self.config)
+        self.ctx = ExecContext(self.env, "t")
+
+
+def test_ext4dax_roundtrip():
+    rig = DaxRig()
+    rig.vfs.write_file(rig.ctx, "/a", b"dax" * 1000)
+    assert rig.vfs.read_file(rig.ctx, "/a") == b"dax" * 1000
+
+
+def test_ext4dax_metadata_ops_slower_than_pmfs():
+    """Varmail effect: create/delete-heavy work costs more on EXT4-DAX."""
+    from tests.fs.conftest import PmfsRig
+
+    dax = DaxRig()
+    t0 = dax.ctx.now
+    for i in range(50):
+        fd = dax.vfs.open(dax.ctx, "/f%d" % i, f.O_CREAT | f.O_RDWR)
+        dax.vfs.write(dax.ctx, fd, b"m" * 128)
+        dax.vfs.fsync(dax.ctx, fd)
+        dax.vfs.close(dax.ctx, fd)
+    dax_time = dax.ctx.now - t0
+
+    pm = PmfsRig()
+    t0 = pm.ctx.now
+    for i in range(50):
+        fd = pm.vfs.open(pm.ctx, "/f%d" % i, f.O_CREAT | f.O_RDWR)
+        pm.vfs.write(pm.ctx, fd, b"m" * 128)
+        pm.vfs.fsync(pm.ctx, fd)
+        pm.vfs.close(pm.ctx, fd)
+    pmfs_time = pm.ctx.now - t0
+    assert dax_time > 1.3 * pmfs_time
+
+
+def test_ext4dax_data_path_matches_pmfs_cost():
+    from tests.fs.conftest import PmfsRig
+
+    dax = DaxRig()
+    pm = PmfsRig()
+    payload = b"d" * (64 * 4096)
+    t0 = dax.ctx.now
+    dax.vfs.write_file(dax.ctx, "/f", payload)
+    dax_time = dax.ctx.now - t0
+    t0 = pm.ctx.now
+    pm.vfs.write_file(pm.ctx, "/f", payload)
+    pmfs_time = pm.ctx.now - t0
+    # Within 20 %: the data path is the same direct NVMM copy.
+    assert dax_time == pytest.approx(pmfs_time, rel=0.2)

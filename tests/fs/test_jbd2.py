@@ -1,0 +1,112 @@
+"""Unit tests for the jbd2 journal model and the NVMMBD block device."""
+
+import pytest
+
+from repro.blockdev.nvmmbd import NVMMBlockDevice
+from repro.engine.context import ExecContext
+from repro.engine.env import SimEnv
+from repro.fs.extfs.jbd2 import JBD2CommitTask, JBD2Journal
+from repro.nvmm.config import BLOCK_SIZE, NVMMConfig
+
+SEC = 1_000_000_000
+
+
+class Rig:
+    def __init__(self):
+        self.env = SimEnv()
+        self.config = NVMMConfig()
+        self.ctx = ExecContext(self.env, "t")
+        self.written = []
+        self.flushed_inos = []
+        self.journal = JBD2Journal(self.env, self._write_block)
+        self.journal.ordered_flush_fn = self._ordered_flush
+
+    def _write_block(self, ctx, data):
+        self.written.append(data)
+
+    def _ordered_flush(self, ctx, ino):
+        self.flushed_inos.append(ino)
+
+
+def test_commit_writes_descriptor_metadata_commit():
+    rig = Rig()
+    rig.journal.dirty_metadata(rig.ctx, [("it", 1), ("bm", 0)])
+    blocks = rig.journal.commit(rig.ctx)
+    assert blocks == 4  # descriptor + 2 metadata + commit
+    assert len(rig.written) == 4
+
+
+def test_duplicate_metadata_blocks_deduplicated():
+    rig = Rig()
+    for _ in range(100):
+        rig.journal.dirty_metadata(rig.ctx, [("it", 1)])
+    assert rig.journal.pending_blocks == 1
+    assert rig.journal.commit(rig.ctx) == 3
+
+
+def test_empty_commit_is_free():
+    rig = Rig()
+    assert rig.journal.commit(rig.ctx) == 0
+    assert rig.written == []
+
+
+def test_ordered_mode_flushes_data_first():
+    rig = Rig()
+    rig.journal.dirty_metadata(rig.ctx, [("it", 1)], ino=7)
+    rig.journal.dirty_metadata(rig.ctx, [("it", 2)], ino=3)
+    rig.journal.commit(rig.ctx)
+    assert rig.flushed_inos == [3, 7]
+
+
+def test_auto_commit_at_max_blocks():
+    rig = Rig()
+    rig.journal.max_blocks = 4
+    for i in range(4):
+        rig.journal.dirty_metadata(rig.ctx, [("it", i)])
+    assert rig.journal.pending_blocks == 0  # auto-committed
+    assert rig.env.stats.count("jbd2_commits") == 1
+
+
+def test_periodic_commit_task():
+    rig = Rig()
+    task = JBD2CommitTask(rig.env, rig.journal)
+    rig.env.background.register(task)
+    rig.journal.dirty_metadata(rig.ctx, [("it", 1)])
+    rig.env.background.advance_to(4 * SEC)
+    assert rig.journal.pending_blocks == 1  # 5 s not reached
+    rig.env.background.advance_to(6 * SEC)
+    assert rig.journal.pending_blocks == 0
+
+
+def test_blockdev_roundtrip_and_costs():
+    env = SimEnv()
+    config = NVMMConfig()
+    bdev = NVMMBlockDevice(env, config, 1 << 20)
+    ctx = ExecContext(env, "t")
+    payload = bytes(range(256)) * 16
+    bdev.write_block(ctx, 3, payload)
+    write_time = ctx.now
+    assert bdev.read_block(ctx, 3) == payload
+    # A block write pays block layer + 64 cacheline persists.
+    assert write_time >= config.block_layer_ns + 64 * config.nvmm_write_latency_ns
+    assert env.stats.count("bio_writes") == 1
+    assert env.stats.count("bio_reads") == 1
+
+
+def test_blockdev_bad_block_rejected():
+    env = SimEnv()
+    bdev = NVMMBlockDevice(env, NVMMConfig(), 1 << 20)
+    ctx = ExecContext(env, "t")
+    with pytest.raises(IndexError):
+        bdev.read_block(ctx, 10_000)
+    with pytest.raises(ValueError):
+        bdev.write_block(ctx, 0, b"short")
+
+
+def test_blockdev_write_is_durable():
+    env = SimEnv()
+    bdev = NVMMBlockDevice(env, NVMMConfig(), 1 << 20)
+    ctx = ExecContext(env, "t")
+    bdev.write_block(ctx, 1, b"\xaa" * BLOCK_SIZE)
+    bdev.crash()
+    assert bdev.read_block(ctx, 1) == b"\xaa" * BLOCK_SIZE

@@ -1,0 +1,162 @@
+"""Journal unit tests and crash-recovery tests."""
+
+import pytest
+
+from repro.engine.context import ExecContext
+from repro.engine.env import SimEnv
+from repro.fs.pmfs.journal import (
+    ENTRY_PAYLOAD_MAX,
+    Journal,
+    JournalFullError,
+)
+from repro.fs.pmfs.layout import Superblock, block_addr
+from repro.nvmm.config import NVMMConfig
+from repro.nvmm.device import NVMMDevice
+
+
+@pytest.fixture()
+def setup():
+    env = SimEnv()
+    cfg = NVMMConfig()
+    device = NVMMDevice(env, cfg, 8 << 20)
+    sb = Superblock.compute(device.size // 4096, journal_blocks=4)
+    journal = Journal(env, device, sb, cfg)
+    ctx = ExecContext(env, "t")
+    data_addr = block_addr(sb.data_start)
+    return env, device, journal, ctx, data_addr
+
+
+def test_committed_tx_survives_recovery(setup):
+    env, device, journal, ctx, addr = setup
+    device.mem.write_nocache(addr, b"old-value")
+    tx = journal.begin(ctx)
+    journal.journaled_write(ctx, tx, addr, b"new-value")
+    journal.commit(ctx, tx)
+    device.crash()
+    journal.recover(ctx)
+    assert device.mem.read(addr, 9) == b"new-value"
+
+
+def test_uncommitted_tx_rolled_back(setup):
+    env, device, journal, ctx, addr = setup
+    device.mem.write_nocache(addr, b"old-value")
+    tx = journal.begin(ctx)
+    journal.journaled_write(ctx, tx, addr, b"new-value")
+    # No commit; crash loses the cached metadata write but the undo
+    # entries were flushed.
+    device.crash()
+    assert journal.recover(ctx) == 1
+    assert device.mem.read(addr, 9) == b"old-value"
+
+
+def test_uncommitted_tx_with_evicted_metadata_rolled_back(setup):
+    """The dangerous case: the cache evicted the new metadata before the
+    commit was written.  Undo must restore the old bytes."""
+    env, device, journal, ctx, addr = setup
+    device.mem.write_nocache(addr, b"old-value")
+    tx = journal.begin(ctx)
+    journal.journaled_write(ctx, tx, addr, b"new-value")
+    # Evict everything (worst case) then crash pre-commit.
+    device.crash(evict_lines=device.mem.dirty_line_indices())
+    journal.recover(ctx)
+    assert device.mem.read(addr, 9) == b"old-value"
+
+
+def test_multiple_txs_mixed_commit_states(setup):
+    env, device, journal, ctx, addr = setup
+    device.mem.write_nocache(addr, b"AAAA")
+    device.mem.write_nocache(addr + 4096, b"BBBB")
+    tx1 = journal.begin(ctx)
+    journal.journaled_write(ctx, tx1, addr, b"1111")
+    journal.commit(ctx, tx1)
+    tx2 = journal.begin(ctx)
+    journal.journaled_write(ctx, tx2, addr + 4096, b"2222")
+    device.crash()
+    journal.recover(ctx)
+    assert device.mem.read(addr, 4) == b"1111"
+    assert device.mem.read(addr + 4096, 4) == b"BBBB"
+
+
+def test_large_range_splits_entries(setup):
+    env, device, journal, ctx, addr = setup
+    old = bytes(range(200))
+    device.mem.write_nocache(addr, old)
+    tx = journal.begin(ctx)
+    journal.journaled_write(ctx, tx, addr, b"\xff" * 200)
+    assert tx.entries == -(-200 // ENTRY_PAYLOAD_MAX)
+    device.crash()
+    journal.recover(ctx)
+    assert device.mem.read(addr, 200) == old
+
+
+def test_undo_applied_in_reverse_order(setup):
+    """Two updates to the same range in one tx: rollback must restore the
+    original (first-logged) value, not the intermediate one."""
+    env, device, journal, ctx, addr = setup
+    device.mem.write_nocache(addr, b"v0")
+    tx = journal.begin(ctx)
+    journal.journaled_write(ctx, tx, addr, b"v1")
+    journal.journaled_write(ctx, tx, addr, b"v2")
+    device.crash()
+    journal.recover(ctx)
+    assert device.mem.read(addr, 2) == b"v0"
+
+
+def test_commit_closes_tx(setup):
+    env, device, journal, ctx, addr = setup
+    tx = journal.begin(ctx)
+    journal.commit(ctx, tx)
+    with pytest.raises(ValueError):
+        journal.commit(ctx, tx)
+    with pytest.raises(ValueError):
+        journal.log_undo(ctx, tx, addr, 8)
+
+
+def test_ring_wraps_when_full(setup):
+    env, device, journal, ctx, addr = setup
+    # 4 blocks * 64 slots = 256 slots; each tx = 1 undo + 1 commit.
+    for i in range(400):
+        tx = journal.begin(ctx)
+        journal.journaled_write(ctx, tx, addr, b"%04d" % i)
+        journal.commit(ctx, tx)
+    assert device.mem.read(addr, 4) == b"0399"
+    device.crash()
+    journal.recover(ctx)
+    assert device.mem.read(addr, 4) == b"0399"
+
+
+def test_wrap_with_open_tx_needs_barrier(setup):
+    env, device, journal, ctx, addr = setup
+    hung = journal.begin(ctx)
+    journal.log_undo(ctx, hung, addr, 8)
+    with pytest.raises(JournalFullError):
+        for i in range(400):
+            tx = journal.begin(ctx)
+            journal.journaled_write(ctx, tx, addr, b"%04d" % i)
+            journal.commit(ctx, tx)
+
+
+def test_wrap_barrier_closes_open_txs(setup):
+    env, device, journal, ctx, addr = setup
+    hung = journal.begin(ctx)
+    journal.log_undo(ctx, hung, addr, 8)
+
+    def barrier(bctx):
+        journal.commit(bctx, hung)
+
+    journal.wrap_barrier = barrier
+    for i in range(400):
+        tx = journal.begin(ctx)
+        journal.journaled_write(ctx, tx, addr, b"%04d" % i)
+        journal.commit(ctx, tx)
+    assert not hung.open
+
+
+def test_journal_costs_time(setup):
+    env, device, journal, ctx, addr = setup
+    before = ctx.now
+    tx = journal.begin(ctx)
+    journal.journaled_write(ctx, tx, addr, b"x" * 8)
+    journal.commit(ctx, tx)
+    # 1 undo entry flush + metadata flush + commit entry flush: >= 3 lines.
+    assert ctx.now - before >= 3 * 200

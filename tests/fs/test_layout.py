@@ -1,0 +1,93 @@
+"""Unit tests for the on-NVMM layout (superblock, inode packing)."""
+
+import pytest
+
+from repro.fs.pmfs.inodes import CORE_SIZE, POINTER_SIZE, PmfsInode
+from repro.fs.pmfs.layout import (
+    INODE_SIZE,
+    INODES_PER_BLOCK,
+    KIND_DIR,
+    KIND_FILE,
+    MAX_FILE_BLOCKS,
+    N_DIRECT,
+    PTRS_PER_BLOCK,
+    Superblock,
+    block_addr,
+    inode_addr,
+)
+
+
+def test_superblock_roundtrip():
+    sb = Superblock.compute(total_blocks=10_000)
+    parsed = Superblock.unpack(sb.pack())
+    for field in ("total_blocks", "journal_start", "journal_blocks",
+                  "inode_table_start", "inode_count", "data_start"):
+        assert getattr(parsed, field) == getattr(sb, field)
+
+
+def test_superblock_bad_magic_rejected():
+    with pytest.raises(ValueError):
+        Superblock.unpack(b"\0" * 64)
+
+
+def test_superblock_layout_ordering():
+    sb = Superblock.compute(total_blocks=10_000, journal_blocks=32)
+    assert sb.journal_start == 1
+    assert sb.inode_table_start == 1 + 32
+    assert sb.data_start > sb.inode_table_start
+    assert sb.data_start < sb.total_blocks
+
+
+def test_superblock_too_small_device():
+    with pytest.raises(ValueError):
+        Superblock.compute(total_blocks=10)
+
+
+def test_inode_addressing():
+    sb = Superblock.compute(total_blocks=10_000)
+    base = block_addr(sb.inode_table_start)
+    assert inode_addr(sb, 1) == base
+    assert inode_addr(sb, 2) == base + INODE_SIZE
+    assert inode_addr(sb, INODES_PER_BLOCK + 1) == base + 4096
+    with pytest.raises(ValueError):
+        inode_addr(sb, 0)
+    with pytest.raises(ValueError):
+        inode_addr(sb, sb.inode_count + 1)
+
+
+def test_inode_pack_unpack_roundtrip():
+    inode = PmfsInode(5)
+    inode.kind = KIND_FILE
+    inode.nlink = 1
+    inode.size = 123_456
+    inode.mtime = 42
+    inode.ctime = 43
+    inode.last_sync = 44
+    inode.direct = list(range(100, 100 + N_DIRECT))
+    inode.indirect = 777
+    inode.dindirect = 888
+    raw = inode.pack_core() + inode.pack_pointers()
+    parsed = PmfsInode.unpack(5, raw)
+    assert parsed.kind == KIND_FILE
+    assert parsed.size == 123_456
+    assert parsed.last_sync == 44
+    assert parsed.direct == inode.direct
+    assert parsed.indirect == 777
+    assert parsed.dindirect == 888
+
+
+def test_core_fits_one_cacheline():
+    # The core (kind/nlink/size/times) must be journal-able in one entry
+    # region and the whole struct in the 256-byte slot.
+    assert CORE_SIZE == 40
+    assert CORE_SIZE + POINTER_SIZE <= INODE_SIZE
+
+
+def test_max_file_size_is_generous():
+    # direct + indirect + double indirect at 4 KiB blocks: >= 1 GiB.
+    assert MAX_FILE_BLOCKS * 4096 >= 1 << 30
+    assert MAX_FILE_BLOCKS == N_DIRECT + PTRS_PER_BLOCK + PTRS_PER_BLOCK ** 2
+
+
+def test_dir_kind_distinct():
+    assert KIND_DIR != KIND_FILE != 0

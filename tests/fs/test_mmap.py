@@ -1,0 +1,110 @@
+"""Tests for direct memory-mapped I/O (paper Section 4.2)."""
+
+import pytest
+
+from repro.core import HiNFS, HiNFSConfig
+from repro.fs.errors import InvalidArgument, IsADirectory
+
+from tests.fs.conftest import PmfsRig
+
+
+@pytest.fixture()
+def rig():
+    return PmfsRig()
+
+
+@pytest.fixture()
+def hrig():
+    return PmfsRig(fs_cls=HiNFS, hconfig=HiNFSConfig(buffer_bytes=2 << 20))
+
+
+def test_mmap_read_sees_file_data(rig):
+    rig.vfs.write_file(rig.ctx, "/m", b"mapped bytes" * 100)
+    region = rig.vfs.mmap(rig.ctx, "/m")
+    assert region.read(rig.ctx, 0, 12) == b"mapped bytes"
+    assert region.read(rig.ctx, 12, 12) == b"mapped bytes"
+
+
+def test_mmap_write_visible_through_file_io(rig):
+    rig.vfs.write_file(rig.ctx, "/m", b"x" * 4096)
+    region = rig.vfs.mmap(rig.ctx, "/m")
+    region.write(rig.ctx, 100, b"STORE")
+    assert rig.vfs.read_file(rig.ctx, "/m")[100:105] == b"STORE"
+
+
+def test_mmap_write_volatile_until_msync(rig):
+    rig.vfs.write_file(rig.ctx, "/m", b"x" * 4096)
+    region = rig.vfs.mmap(rig.ctx, "/m")
+    region.write(rig.ctx, 0, b"GONE")
+    rig.crash_and_remount()
+    assert rig.vfs.read_file(rig.ctx, "/m")[:4] == b"xxxx"
+
+
+def test_msync_makes_stores_durable(rig):
+    rig.vfs.write_file(rig.ctx, "/m", b"x" * 4096)
+    region = rig.vfs.mmap(rig.ctx, "/m")
+    region.write(rig.ctx, 0, b"KEPT")
+    rig.vfs.msync(rig.ctx, region)
+    rig.crash_and_remount()
+    assert rig.vfs.read_file(rig.ctx, "/m")[:4] == b"KEPT"
+
+
+def test_mmap_extends_file_on_store_past_eof(rig):
+    rig.vfs.write_file(rig.ctx, "/m", b"ab")
+    region = rig.vfs.mmap(rig.ctx, "/m")
+    region.write(rig.ctx, 10_000, b"tail")
+    assert rig.vfs.stat(rig.ctx, "/m").size == 10_004
+    assert region.read(rig.ctx, 10_000, 4) == b"tail"
+
+
+def test_mmap_hole_reads_zeroes(rig):
+    rig.vfs.write_file(rig.ctx, "/m", b"")
+    rig.vfs.truncate(rig.ctx, "/m", 8192)
+    region = rig.vfs.mmap(rig.ctx, "/m")
+    assert region.read(rig.ctx, 0, 100) == b"\0" * 100
+
+
+def test_munmap_implies_msync_and_closes(rig):
+    rig.vfs.write_file(rig.ctx, "/m", b"x" * 64)
+    region = rig.vfs.mmap(rig.ctx, "/m")
+    region.write(rig.ctx, 0, b"SYNC")
+    rig.vfs.munmap(rig.ctx, region)
+    with pytest.raises(InvalidArgument):
+        region.read(rig.ctx, 0, 4)
+    rig.crash_and_remount()
+    assert rig.vfs.read_file(rig.ctx, "/m")[:4] == b"SYNC"
+
+
+def test_mmap_directory_rejected(rig):
+    rig.vfs.mkdir(rig.ctx, "/d")
+    with pytest.raises(IsADirectory):
+        rig.vfs.mmap(rig.ctx, "/d")
+
+
+def test_hinfs_mmap_flushes_buffered_blocks(hrig):
+    hrig.vfs.write_file(hrig.ctx, "/m", b"buffered" * 512)  # lazy, in DRAM
+    assert hrig.fs.buffer.used_blocks > 0
+    region = hrig.vfs.mmap(hrig.ctx, "/m")
+    assert hrig.fs.buffer.file_blocks(hrig.vfs.stat(hrig.ctx, "/m").ino) == []
+    assert region.read(hrig.ctx, 0, 8) == b"buffered"
+
+
+def test_hinfs_mmapped_file_writes_bypass_buffer(hrig):
+    hrig.vfs.write_file(hrig.ctx, "/m", b"x" * 4096)
+    region = hrig.vfs.mmap(hrig.ctx, "/m")
+    eager_before = hrig.env.stats.count("hinfs_eager_writes")
+    fd = hrig.vfs.open(hrig.ctx, "/m")
+    hrig.vfs.pwrite(hrig.ctx, fd, 0, b"direct!")
+    assert hrig.env.stats.count("hinfs_eager_writes") == eager_before + 1
+    # And the store is immediately durable (no buffer staging).
+    hrig.crash_and_remount()
+    assert hrig.vfs.read_file(hrig.ctx, "/m")[:7] == b"direct!"
+
+
+def test_hinfs_munmap_unpins(hrig):
+    hrig.vfs.write_file(hrig.ctx, "/m", b"x" * 4096)
+    ino = hrig.vfs.stat(hrig.ctx, "/m").ino
+    region = hrig.vfs.mmap(hrig.ctx, "/m")
+    assert ino in hrig.fs._mmapped
+    hrig.vfs.munmap(hrig.ctx, region)
+    assert ino not in hrig.fs._mmapped

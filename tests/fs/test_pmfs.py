@@ -1,0 +1,240 @@
+"""Functional tests for PMFS through the VFS syscall surface."""
+
+import pytest
+
+from repro.fs import flags as f
+from repro.fs.errors import (
+    BadFileDescriptor,
+    ExistsError,
+    IsADirectory,
+    NotADirectory,
+    NotEmpty,
+    NotFound,
+    ReadOnly,
+)
+
+
+def test_create_write_read_roundtrip(rig):
+    fd = rig.vfs.open(rig.ctx, "/a.txt", f.O_RDWR | f.O_CREAT)
+    rig.vfs.write(rig.ctx, fd, b"hello world")
+    rig.vfs.lseek(rig.ctx, fd, 0)
+    assert rig.vfs.read(rig.ctx, fd, 100) == b"hello world"
+    rig.vfs.close(rig.ctx, fd)
+
+
+def test_read_missing_file_raises(rig):
+    with pytest.raises(NotFound):
+        rig.vfs.open(rig.ctx, "/nope")
+
+
+def test_pread_pwrite_at_offsets(rig):
+    fd = rig.vfs.open(rig.ctx, "/f", f.O_RDWR | f.O_CREAT)
+    rig.vfs.pwrite(rig.ctx, fd, 0, b"AAAA")
+    rig.vfs.pwrite(rig.ctx, fd, 2, b"BB")
+    assert rig.vfs.pread(rig.ctx, fd, 0, 4) == b"AABB"
+
+
+def test_sparse_file_reads_zeroes(rig):
+    fd = rig.vfs.open(rig.ctx, "/sparse", f.O_RDWR | f.O_CREAT)
+    rig.vfs.pwrite(rig.ctx, fd, 10_000, b"tail")
+    assert rig.vfs.pread(rig.ctx, fd, 0, 10) == b"\0" * 10
+    assert rig.vfs.pread(rig.ctx, fd, 10_000, 4) == b"tail"
+    assert rig.vfs.stat(rig.ctx, "/sparse").size == 10_004
+
+
+def test_read_past_eof_is_short(rig):
+    fd = rig.vfs.open(rig.ctx, "/f", f.O_RDWR | f.O_CREAT)
+    rig.vfs.write(rig.ctx, fd, b"12345")
+    assert rig.vfs.pread(rig.ctx, fd, 3, 100) == b"45"
+    assert rig.vfs.pread(rig.ctx, fd, 5, 100) == b""
+    assert rig.vfs.pread(rig.ctx, fd, 50, 10) == b""
+
+
+def test_multiblock_write_spans_blocks(rig):
+    payload = bytes(i % 251 for i in range(3 * 4096 + 123))
+    rig.vfs.write_file(rig.ctx, "/big", payload)
+    assert rig.vfs.read_file(rig.ctx, "/big") == payload
+
+
+def test_large_file_uses_indirect_blocks(rig):
+    # > 12 direct blocks => single-indirect territory.
+    payload = bytes(i % 256 for i in range(20 * 4096))
+    rig.vfs.write_file(rig.ctx, "/indirect", payload)
+    assert rig.vfs.read_file(rig.ctx, "/indirect") == payload
+
+
+def test_overwrite_preserves_rest(rig):
+    rig.vfs.write_file(rig.ctx, "/f", b"x" * 8192)
+    fd = rig.vfs.open(rig.ctx, "/f")
+    rig.vfs.pwrite(rig.ctx, fd, 4000, b"YY")
+    data = rig.vfs.read_file(rig.ctx, "/f")
+    assert data[3999:4003] == b"xYYx"
+    assert len(data) == 8192
+
+
+def test_mkdir_and_nested_paths(rig):
+    rig.vfs.mkdir(rig.ctx, "/d1")
+    rig.vfs.mkdir(rig.ctx, "/d1/d2")
+    rig.vfs.write_file(rig.ctx, "/d1/d2/file", b"deep")
+    assert rig.vfs.read_file(rig.ctx, "/d1/d2/file") == b"deep"
+    names = dict(rig.vfs.readdir(rig.ctx, "/d1"))
+    assert "d2" in names
+
+
+def test_mkdir_existing_raises(rig):
+    rig.vfs.mkdir(rig.ctx, "/d")
+    with pytest.raises(ExistsError):
+        rig.vfs.mkdir(rig.ctx, "/d")
+
+
+def test_unlink_removes_file(rig):
+    rig.vfs.write_file(rig.ctx, "/victim", b"bye")
+    rig.vfs.unlink(rig.ctx, "/victim")
+    assert not rig.vfs.exists(rig.ctx, "/victim")
+    with pytest.raises(NotFound):
+        rig.vfs.unlink(rig.ctx, "/victim")
+
+
+def test_unlink_frees_blocks_for_reuse(rig):
+    # Warm the root directory's dirent block so it doesn't skew the count.
+    rig.vfs.write_file(rig.ctx, "/warm", b"w")
+    rig.vfs.unlink(rig.ctx, "/warm")
+    free_before = rig.fs.balloc.free_count
+    rig.vfs.write_file(rig.ctx, "/v", b"z" * (64 * 4096))
+    assert rig.fs.balloc.free_count < free_before
+    rig.vfs.unlink(rig.ctx, "/v")
+    assert rig.fs.balloc.free_count == free_before
+
+
+def test_unlink_directory_raises(rig):
+    rig.vfs.mkdir(rig.ctx, "/d")
+    with pytest.raises(IsADirectory):
+        rig.vfs.unlink(rig.ctx, "/d")
+
+
+def test_rmdir_empty_only(rig):
+    rig.vfs.mkdir(rig.ctx, "/d")
+    rig.vfs.write_file(rig.ctx, "/d/f", b"x")
+    with pytest.raises(NotEmpty):
+        rig.vfs.rmdir(rig.ctx, "/d")
+    rig.vfs.unlink(rig.ctx, "/d/f")
+    rig.vfs.rmdir(rig.ctx, "/d")
+    assert not rig.vfs.exists(rig.ctx, "/d")
+
+
+def test_rmdir_file_raises(rig):
+    rig.vfs.write_file(rig.ctx, "/f", b"x")
+    with pytest.raises(NotADirectory):
+        rig.vfs.rmdir(rig.ctx, "/f")
+
+
+def test_open_trunc_discards_contents(rig):
+    rig.vfs.write_file(rig.ctx, "/f", b"old contents")
+    fd = rig.vfs.open(rig.ctx, "/f", f.O_RDWR | f.O_TRUNC)
+    assert rig.vfs.stat(rig.ctx, "/f").size == 0
+    rig.vfs.write(rig.ctx, fd, b"new")
+    assert rig.vfs.read_file(rig.ctx, "/f") == b"new"
+
+
+def test_truncate_shrink_then_read(rig):
+    rig.vfs.write_file(rig.ctx, "/f", b"a" * 10_000)
+    rig.vfs.truncate(rig.ctx, "/f", 5_000)
+    data = rig.vfs.read_file(rig.ctx, "/f")
+    assert data == b"a" * 5_000
+
+
+def test_truncate_grow_pads_zeroes(rig):
+    rig.vfs.write_file(rig.ctx, "/f", b"ab")
+    rig.vfs.truncate(rig.ctx, "/f", 10)
+    assert rig.vfs.read_file(rig.ctx, "/f") == b"ab" + b"\0" * 8
+
+
+def test_append_flag(rig):
+    rig.vfs.write_file(rig.ctx, "/log", b"one\n")
+    fd = rig.vfs.open(rig.ctx, "/log", f.O_RDWR | f.O_APPEND)
+    rig.vfs.write(rig.ctx, fd, b"two\n")
+    assert rig.vfs.read_file(rig.ctx, "/log") == b"one\ntwo\n"
+
+
+def test_write_on_readonly_fd_raises(rig):
+    rig.vfs.write_file(rig.ctx, "/f", b"x")
+    fd = rig.vfs.open(rig.ctx, "/f", f.O_RDONLY)
+    with pytest.raises(ReadOnly):
+        rig.vfs.write(rig.ctx, fd, b"nope")
+
+
+def test_read_on_writeonly_fd_raises(rig):
+    rig.vfs.write_file(rig.ctx, "/f", b"x")
+    fd = rig.vfs.open(rig.ctx, "/f", f.O_WRONLY)
+    with pytest.raises(ReadOnly):
+        rig.vfs.read(rig.ctx, fd, 1)
+
+
+def test_bad_fd_raises(rig):
+    with pytest.raises(BadFileDescriptor):
+        rig.vfs.fsync(rig.ctx, 99)
+
+
+def test_close_invalidates_fd(rig):
+    fd = rig.vfs.open(rig.ctx, "/f", f.O_CREAT | f.O_RDWR)
+    rig.vfs.close(rig.ctx, fd)
+    with pytest.raises(BadFileDescriptor):
+        rig.vfs.read(rig.ctx, fd, 1)
+
+
+def test_fsync_is_cheap_on_pmfs(rig):
+    fd = rig.vfs.open(rig.ctx, "/f", f.O_CREAT | f.O_RDWR)
+    rig.vfs.write(rig.ctx, fd, b"data")
+    before = rig.ctx.now
+    rig.vfs.fsync(rig.ctx, fd)
+    # Data is already durable; fsync costs only syscall + fence.
+    assert rig.ctx.now - before < 5_000
+
+
+def test_stat_reports_sizes_and_kind(rig):
+    rig.vfs.mkdir(rig.ctx, "/d")
+    rig.vfs.write_file(rig.ctx, "/d/f", b"12345")
+    st = rig.vfs.stat(rig.ctx, "/d/f")
+    assert st.size == 5 and not st.is_dir
+    assert rig.vfs.stat(rig.ctx, "/d").is_dir
+
+
+def test_write_charges_nvmm_latency(rig):
+    fd = rig.vfs.open(rig.ctx, "/f", f.O_CREAT | f.O_RDWR)
+    before = rig.ctx.now
+    rig.vfs.pwrite(rig.ctx, fd, 0, b"z" * 4096)
+    elapsed = rig.ctx.now - before
+    # 64 lines * 200 ns = 12.8 us of data persistence dominates.
+    assert elapsed >= 64 * 200
+
+
+def test_writes_durable_across_remount(rig):
+    rig.vfs.write_file(rig.ctx, "/keep", b"persist me" * 100)
+    rig.vfs.mkdir(rig.ctx, "/dir")
+    rig.vfs.write_file(rig.ctx, "/dir/nested", b"nested")
+    rig.vfs.unmount(rig.ctx)
+    rig.remount()
+    assert rig.vfs.read_file(rig.ctx, "/keep") == b"persist me" * 100
+    assert rig.vfs.read_file(rig.ctx, "/dir/nested") == b"nested"
+
+
+def test_remount_preserves_free_space_accounting(rig):
+    rig.vfs.write_file(rig.ctx, "/f", b"q" * (16 * 4096))
+    used_before = rig.fs.balloc.used_count
+    rig.vfs.unmount(rig.ctx)
+    rig.remount()
+    assert rig.fs.balloc.used_count == used_before
+
+
+def test_many_files_in_one_directory(rig):
+    for i in range(200):
+        rig.vfs.write_file(rig.ctx, "/file%03d" % i, b"#%d" % i)
+    assert len(rig.vfs.readdir(rig.ctx, "/")) == 200
+    assert rig.vfs.read_file(rig.ctx, "/file123") == b"#123"
+
+
+def test_pmfs_writes_are_durable_without_fsync(rig):
+    """Direct access: a completed write survives an immediate crash."""
+    rig.vfs.write_file(rig.ctx, "/d", b"durable" * 10)
+    rig.crash_and_remount()
+    assert rig.vfs.read_file(rig.ctx, "/d") == b"durable" * 10

@@ -1,0 +1,117 @@
+"""VFS-layer tests: paths, descriptors, accounting."""
+
+import pytest
+
+from repro.fs import flags as f
+from repro.fs.errors import InvalidArgument, NotADirectory, NotFound
+
+
+def test_empty_path_rejected(rig):
+    with pytest.raises(InvalidArgument):
+        rig.vfs.open(rig.ctx, "")
+
+
+def test_path_through_file_component_fails(rig):
+    rig.vfs.write_file(rig.ctx, "/f", b"x")
+    with pytest.raises((NotFound, NotADirectory)):
+        rig.vfs.open(rig.ctx, "/f/child")
+
+
+def test_trailing_and_double_slashes_normalised(rig):
+    rig.vfs.mkdir(rig.ctx, "/d")
+    rig.vfs.write_file(rig.ctx, "/d//f/", b"x")
+    assert rig.vfs.read_file(rig.ctx, "/d/f") == b"x"
+
+
+def test_stat_root(rig):
+    assert rig.vfs.stat(rig.ctx, "/").is_dir
+
+
+def test_dentry_cache_speeds_up_lookups(rig):
+    rig.vfs.mkdir(rig.ctx, "/a")
+    rig.vfs.mkdir(rig.ctx, "/a/b")
+    rig.vfs.write_file(rig.ctx, "/a/b/f", b"x")
+    first_cost_start = rig.ctx.now
+    rig.vfs.stat(rig.ctx, "/a/b/f")
+    first = rig.ctx.now - first_cost_start
+    second_start = rig.ctx.now
+    rig.vfs.stat(rig.ctx, "/a/b/f")
+    second = rig.ctx.now - second_start
+    assert second <= first
+
+
+def test_unlink_invalidates_dentry(rig):
+    rig.vfs.write_file(rig.ctx, "/gone", b"x")
+    rig.vfs.unlink(rig.ctx, "/gone")
+    rig.vfs.write_file(rig.ctx, "/gone", b"y")  # recreate under same name
+    assert rig.vfs.read_file(rig.ctx, "/gone") == b"y"
+
+
+def test_each_open_gets_independent_position(rig):
+    rig.vfs.write_file(rig.ctx, "/f", b"0123456789")
+    fd1 = rig.vfs.open(rig.ctx, "/f", f.O_RDONLY)
+    fd2 = rig.vfs.open(rig.ctx, "/f", f.O_RDONLY)
+    assert rig.vfs.read(rig.ctx, fd1, 4) == b"0123"
+    assert rig.vfs.read(rig.ctx, fd2, 4) == b"0123"
+    assert rig.vfs.read(rig.ctx, fd1, 4) == b"4567"
+
+
+def test_write_advances_position(rig):
+    fd = rig.vfs.open(rig.ctx, "/f", f.O_CREAT | f.O_RDWR)
+    rig.vfs.write(rig.ctx, fd, b"abc")
+    rig.vfs.write(rig.ctx, fd, b"def")
+    assert rig.vfs.read_file(rig.ctx, "/f") == b"abcdef"
+
+
+def test_syscall_counts_recorded(rig):
+    fd = rig.vfs.open(rig.ctx, "/f", f.O_CREAT | f.O_RDWR)
+    rig.vfs.write(rig.ctx, fd, b"zz")
+    rig.vfs.fsync(rig.ctx, fd)
+    rig.vfs.close(rig.ctx, fd)
+    counts = rig.env.stats.syscall_counts
+    for name in ("open", "write", "fsync", "close"):
+        assert counts[name] == 1
+
+
+def test_every_syscall_charges_entry_overhead(rig):
+    before = rig.ctx.now
+    rig.vfs.stat(rig.ctx, "/")
+    assert rig.ctx.now - before >= rig.config.syscall_ns
+
+
+def test_fsync_byte_accounting(rig):
+    fd = rig.vfs.open(rig.ctx, "/f", f.O_CREAT | f.O_RDWR)
+    rig.vfs.write(rig.ctx, fd, b"a" * 1000)
+    assert rig.env.stats.count("app_bytes_written") == 1000
+    assert rig.env.stats.count("app_bytes_fsynced") == 0
+    rig.vfs.fsync(rig.ctx, fd)
+    assert rig.env.stats.count("app_bytes_fsynced") == 1000
+    # A second fsync with no new writes adds nothing.
+    rig.vfs.fsync(rig.ctx, fd)
+    assert rig.env.stats.count("app_bytes_fsynced") == 1000
+
+
+def test_o_sync_writes_count_as_fsynced(rig):
+    fd = rig.vfs.open(rig.ctx, "/f", f.O_CREAT | f.O_RDWR | f.O_SYNC)
+    rig.vfs.write(rig.ctx, fd, b"b" * 500)
+    assert rig.env.stats.count("app_bytes_fsynced") == 500
+
+
+def test_unlink_discards_unsynced_accounting(rig):
+    fd = rig.vfs.open(rig.ctx, "/f", f.O_CREAT | f.O_RDWR)
+    rig.vfs.write(rig.ctx, fd, b"c" * 300)
+    rig.vfs.close(rig.ctx, fd)
+    rig.vfs.unlink(rig.ctx, "/f")
+    assert rig.env.stats.count("app_bytes_fsynced") == 0
+
+
+def test_read_file_chunking(rig):
+    payload = bytes(range(256)) * 100
+    rig.vfs.write_file(rig.ctx, "/big", payload, chunk=1000)
+    assert rig.vfs.read_file(rig.ctx, "/big", chunk=777) == payload
+
+
+def test_ops_completed_counts_syscalls(rig):
+    before = rig.env.stats.ops_completed
+    rig.vfs.write_file(rig.ctx, "/f", b"x")  # open + write + close
+    assert rig.env.stats.ops_completed - before == 3

@@ -1,0 +1,58 @@
+"""Unit tests for flat memory regions."""
+
+import pytest
+
+from repro.mem.region import MemoryRegion
+
+
+def test_region_starts_zeroed():
+    region = MemoryRegion(64)
+    assert region.read(0, 64) == b"\0" * 64
+
+
+def test_write_then_read_roundtrip():
+    region = MemoryRegion(128)
+    region.write(10, b"hello")
+    assert region.read(10, 5) == b"hello"
+    assert region.read(9, 1) == b"\0"
+
+
+def test_out_of_bounds_read_rejected():
+    region = MemoryRegion(16)
+    with pytest.raises(IndexError):
+        region.read(10, 10)
+
+
+def test_out_of_bounds_write_rejected():
+    region = MemoryRegion(16)
+    with pytest.raises(IndexError):
+        region.write(14, b"abcd")
+
+
+def test_negative_address_rejected():
+    region = MemoryRegion(16)
+    with pytest.raises(IndexError):
+        region.read(-1, 4)
+
+
+def test_zero_size_rejected():
+    with pytest.raises(ValueError):
+        MemoryRegion(0)
+
+
+def test_fill():
+    region = MemoryRegion(32)
+    region.fill(8, 4, 0xAB)
+    assert region.read(8, 4) == b"\xab" * 4
+    assert region.read(7, 1) == b"\0"
+
+
+def test_snapshot_is_independent():
+    region = MemoryRegion(8)
+    snap = region.snapshot()
+    region.write(0, b"x")
+    assert snap == b"\0" * 8
+
+
+def test_len():
+    assert len(MemoryRegion(100)) == 100

@@ -1,0 +1,103 @@
+"""Unit and property tests for the bitmap block allocator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nvmm.allocator import BlockAllocator, OutOfSpaceError
+
+
+def test_alloc_returns_unique_blocks():
+    alloc = BlockAllocator(10)
+    blocks = [alloc.alloc() for _ in range(10)]
+    assert sorted(blocks) == list(range(10))
+
+
+def test_exhaustion_raises():
+    alloc = BlockAllocator(2)
+    alloc.alloc()
+    alloc.alloc()
+    with pytest.raises(OutOfSpaceError):
+        alloc.alloc()
+
+
+def test_free_allows_reuse():
+    alloc = BlockAllocator(1)
+    block = alloc.alloc()
+    alloc.free(block)
+    assert alloc.alloc() == block
+
+
+def test_double_free_rejected():
+    alloc = BlockAllocator(4)
+    block = alloc.alloc()
+    alloc.free(block)
+    with pytest.raises(ValueError):
+        alloc.free(block)
+
+
+def test_free_unallocated_rejected():
+    alloc = BlockAllocator(4)
+    with pytest.raises(ValueError):
+        alloc.free(0)
+
+
+def test_out_of_range_rejected():
+    alloc = BlockAllocator(4, first_block=10)
+    with pytest.raises(ValueError):
+        alloc.free(3)
+    with pytest.raises(ValueError):
+        alloc.is_allocated(14)
+
+
+def test_first_block_offset():
+    alloc = BlockAllocator(3, first_block=100)
+    assert alloc.alloc() == 100
+    assert alloc.alloc() == 101
+
+
+def test_counts():
+    alloc = BlockAllocator(5)
+    assert (alloc.free_count, alloc.used_count) == (5, 0)
+    alloc.alloc()
+    assert (alloc.free_count, alloc.used_count) == (4, 1)
+
+
+def test_alloc_many():
+    alloc = BlockAllocator(8)
+    blocks = alloc.alloc_many(5)
+    assert len(set(blocks)) == 5
+    with pytest.raises(OutOfSpaceError):
+        alloc.alloc_many(4)
+
+
+def test_sequential_allocations_are_contiguous():
+    alloc = BlockAllocator(100)
+    blocks = alloc.alloc_many(10)
+    assert blocks == list(range(10))
+
+
+def test_mark_allocated():
+    alloc = BlockAllocator(4)
+    alloc.mark_allocated(2)
+    assert alloc.is_allocated(2)
+    remaining = {alloc.alloc() for _ in range(3)}
+    assert remaining == {0, 1, 3}
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(st.sampled_from(["alloc", "free"]), min_size=1, max_size=200)
+)
+def test_allocator_never_hands_out_duplicates(ops):
+    alloc = BlockAllocator(16)
+    held = []
+    for op in ops:
+        if op == "alloc" and alloc.free_count:
+            block = alloc.alloc()
+            assert block not in held
+            held.append(block)
+        elif op == "free" and held:
+            alloc.free(held.pop())
+        assert alloc.used_count == len(held)
+        assert alloc.free_count + alloc.used_count == 16

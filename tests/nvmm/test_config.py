@@ -1,0 +1,70 @@
+"""Unit tests for the cost-model configuration."""
+
+import pytest
+
+from repro.nvmm.config import BLOCK_SIZE, CACHELINE_SIZE, NVMMConfig, lines_spanned
+
+
+def test_defaults_match_table2():
+    cfg = NVMMConfig()
+    assert cfg.nvmm_write_latency_ns == 200
+    assert cfg.nvmm_write_bandwidth_bps == 1_000_000_000
+
+
+def test_lines_spanned_aligned():
+    assert lines_spanned(64) == 1
+    assert lines_spanned(128) == 2
+    assert lines_spanned(BLOCK_SIZE) == BLOCK_SIZE // CACHELINE_SIZE
+
+
+def test_lines_spanned_unaligned_straddles():
+    # Bytes 60..68 touch lines 0 and 1.
+    assert lines_spanned(8, offset=60) == 2
+    # The paper's example: a write to 0..112 touches lines 0 and 1.
+    assert lines_spanned(112, offset=0) == 2
+
+
+def test_lines_spanned_zero():
+    assert lines_spanned(0) == 0
+
+
+def test_writer_slots_default():
+    # 1 GB/s at 200 ns/line (= 320 MB/s per writer) -> 3 slots.
+    assert NVMMConfig().nvmm_writer_slots == 3
+
+
+def test_writer_slots_scale_with_latency():
+    # Longer latency -> slower per-writer stream -> more concurrent slots.
+    slow = NVMMConfig().replace(nvmm_write_latency_ns=800)
+    fast = NVMMConfig().replace(nvmm_write_latency_ns=50)
+    assert slow.nvmm_writer_slots > NVMMConfig().nvmm_writer_slots
+    assert fast.nvmm_writer_slots == 1
+
+
+def test_load_cost_scales_with_bytes():
+    cfg = NVMMConfig()
+    assert cfg.load_cost_ns(0) == 0
+    small = cfg.load_cost_ns(64)
+    big = cfg.load_cost_ns(1 << 20)
+    assert big > small
+    # 1 MiB at 8 B/ns is ~131 us plus fixed latency.
+    assert big == pytest.approx((1 << 20) / 8.0, rel=0.01)
+
+
+def test_nvmm_persist_cost_linear_in_lines():
+    cfg = NVMMConfig()
+    assert cfg.nvmm_persist_cost_ns(1) == 200
+    assert cfg.nvmm_persist_cost_ns(64) == 12_800
+    assert cfg.nvmm_persist_cost_ns(0) == 0
+
+
+def test_replace_makes_modified_copy():
+    cfg = NVMMConfig()
+    swept = cfg.replace(nvmm_write_latency_ns=800)
+    assert swept.nvmm_write_latency_ns == 800
+    assert cfg.nvmm_write_latency_ns == 200
+
+
+def test_config_is_frozen():
+    with pytest.raises(Exception):
+        NVMMConfig().nvmm_write_latency_ns = 5

@@ -1,0 +1,111 @@
+"""Unit and property tests for the radix tree."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pagecache.radix import RadixTree
+
+
+def test_empty():
+    tree = RadixTree()
+    assert len(tree) == 0
+    assert tree.get(0) is None
+    assert 5 not in tree
+
+
+def test_insert_get():
+    tree = RadixTree()
+    assert tree.insert(0, "zero")
+    assert tree.get(0) == "zero"
+    assert 0 in tree
+
+
+def test_insert_replace():
+    tree = RadixTree()
+    tree.insert(1, "a")
+    assert not tree.insert(1, "b")
+    assert tree.get(1) == "b"
+    assert len(tree) == 1
+
+
+def test_large_keys_grow_height():
+    tree = RadixTree()
+    tree.insert(0, "small")
+    tree.insert(1 << 30, "big")
+    assert tree.get(0) == "small"
+    assert tree.get(1 << 30) == "big"
+    assert len(tree) == 2
+
+
+def test_delete():
+    tree = RadixTree()
+    tree.insert(7, "x")
+    assert tree.delete(7) == "x"
+    assert tree.get(7) is None
+    assert len(tree) == 0
+
+
+def test_delete_missing():
+    tree = RadixTree()
+    tree.insert(1, "x")
+    assert tree.delete(2) is None
+    assert tree.delete(1 << 40) is None
+    assert len(tree) == 1
+
+
+def test_delete_prunes_to_empty():
+    tree = RadixTree()
+    tree.insert(123456, "v")
+    tree.delete(123456)
+    assert tree._root is None
+
+
+def test_items_sorted():
+    tree = RadixTree()
+    for key in [100, 5, 70, 3, 10_000]:
+        tree.insert(key, key)
+    assert [k for k, _ in tree.items()] == [3, 5, 70, 100, 10_000]
+
+
+def test_negative_key_rejected():
+    with pytest.raises(ValueError):
+        RadixTree().insert(-1, "x")
+    assert RadixTree().get(-1) is None
+
+
+def test_none_value_rejected():
+    with pytest.raises(ValueError):
+        RadixTree().insert(0, None)
+
+
+def test_clear():
+    tree = RadixTree()
+    tree.insert(1, "a")
+    tree.clear()
+    assert len(tree) == 0
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["insert", "delete", "get"]),
+            st.integers(min_value=0, max_value=100_000),
+        ),
+        max_size=150,
+    )
+)
+def test_radix_matches_dict_model(ops):
+    tree = RadixTree()
+    model = {}
+    for op, key in ops:
+        if op == "insert":
+            tree.insert(key, key + 1)
+            model[key] = key + 1
+        elif op == "delete":
+            assert tree.delete(key) == model.pop(key, None)
+        else:
+            assert tree.get(key) == model.get(key)
+        assert len(tree) == len(model)
+    assert tree.items() == sorted(model.items())

@@ -1,0 +1,86 @@
+"""Tests for the macrobenchmarks (postmark, tpcc, kernel-grep/make)."""
+
+from repro.bench.runner import run_workload
+from repro.workloads.macro import KernelGrep, KernelMake, Postmark, TPCC
+
+
+def run_small(workload, fs_name="pmfs"):
+    return run_workload(fs_name, workload, device_size=96 << 20)
+
+
+def test_postmark_completes_and_deletes_everything():
+    workload = Postmark(initial_files=30, transactions=60)
+    result = run_small(workload)
+    assert result.stats.syscall_counts.get("unlink", 0) >= 30
+    assert result.ops > 100
+
+
+def test_postmark_creates_and_appends():
+    workload = Postmark(initial_files=20, transactions=50)
+    result = run_small(workload)
+    assert result.stats.count("app_bytes_written") > 0
+    assert result.stats.syscall_counts.get("read", 0) > 0
+
+
+def test_postmark_short_lived_files_benefit_hinfs():
+    times = {}
+    for fs in ("pmfs", "hinfs"):
+        workload = Postmark(initial_files=30, transactions=150)
+        times[fs] = run_small(workload, fs).elapsed_ns
+    assert times["hinfs"] < 0.8 * times["pmfs"]
+
+
+def test_tpcc_is_fsync_dominated():
+    workload = TPCC(transactions=80)
+    result = run_small(workload)
+    assert result.fsync_byte_fraction > 0.9
+    assert result.stats.syscall_counts["fsync"] >= 80
+
+
+def test_tpcc_checkpoint_syncs_tables():
+    workload = TPCC(transactions=60, checkpoint_every=20)
+    result = run_small(workload)
+    # 60 WAL commits + 3 checkpoints' worth of table fsyncs.
+    assert result.stats.syscall_counts["fsync"] > 60
+
+
+def test_kernel_grep_reads_everything_writes_nothing():
+    workload = KernelGrep()
+    workload.dirs, workload.files_per_dir = 4, 8
+    result = run_small(workload)
+    assert result.stats.syscall_counts.get("write", 0) == 0
+    assert result.stats.syscall_counts["read"] > 32
+
+
+def test_kernel_make_writes_objects_without_fsync():
+    workload = KernelMake()
+    workload.dirs, workload.files_per_dir = 4, 8
+    result = run_small(workload)
+    assert result.stats.syscall_counts.get("fsync", 0) == 0
+    assert result.stats.count("app_bytes_written") > 0
+
+
+def test_kernel_make_faster_on_hinfs():
+    times = {}
+    for fs in ("pmfs", "hinfs"):
+        workload = KernelMake()
+        workload.dirs, workload.files_per_dir = 6, 10
+        times[fs] = run_small(workload, fs).elapsed_ns
+    assert times["hinfs"] < 0.8 * times["pmfs"]
+
+
+def test_kernel_grep_parity_between_hinfs_and_pmfs():
+    times = {}
+    for fs in ("pmfs", "hinfs"):
+        workload = KernelGrep()
+        workload.dirs, workload.files_per_dir = 4, 10
+        times[fs] = run_small(workload, fs).elapsed_ns
+    ratio = times["hinfs"] / times["pmfs"]
+    assert 0.9 < ratio < 1.1, ratio
+
+
+def test_macro_threads_split_work():
+    workload = KernelGrep(threads=2)
+    workload.dirs, workload.files_per_dir = 4, 8
+    result = run_small(workload)
+    assert result.stats.syscall_counts["read"] > 32
