@@ -6,6 +6,7 @@ Examples::
     hinfs-bench fig7
     hinfs-bench fig9 fig12 --scale medium
     hinfs-bench all --no-check
+    hinfs-bench crashcheck --fs all --seed 7 --samples 64
 """
 
 import argparse
@@ -15,7 +16,45 @@ from repro.bench.experiments.common import SCALES
 from repro.bench.registry import EXPERIMENTS, run_experiment
 
 
+def crashcheck_main(argv):
+    """``crashcheck``: enumerate crash states and verify the invariants."""
+    from repro.faults.crashpoints import run_crashcheck
+
+    parser = argparse.ArgumentParser(
+        prog="hinfs-bench crashcheck",
+        description="Explore every flush/fence crash state of a mixed "
+        "operation sequence (plus sampled uncontrolled-eviction states) "
+        "and verify recovery invariants.",
+    )
+    parser.add_argument("--fs", choices=["pmfs", "hinfs", "all"],
+                        default="all", help="file system(s) to explore")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="seed for eviction-subset sampling")
+    parser.add_argument("--samples", type=int, default=64,
+                        help="eviction subsets sampled per operation")
+    args = parser.parse_args(argv)
+
+    kinds = ["pmfs", "hinfs"] if args.fs == "all" else [args.fs]
+    failures = 0
+    for report in run_crashcheck(kinds, seed=args.seed,
+                                 eviction_samples_per_op=args.samples):
+        print(report.summary())
+        for violation in report.failures:
+            print("  %s" % violation, file=sys.stderr)
+        failures += len(report.failures)
+    if failures:
+        print("crashcheck: %d invariant violation(s)" % failures,
+              file=sys.stderr)
+        return 1
+    print("crashcheck: all crash states recovered consistently")
+    return 0
+
+
 def main(argv=None):
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "crashcheck":
+        return crashcheck_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="hinfs-bench",
         description="Regenerate the HiNFS paper's tables and figures.",

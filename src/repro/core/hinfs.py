@@ -27,8 +27,9 @@ from repro.core.bitmap import FULL_MASK, iter_runs, iter_valid_runs, popcount
 from repro.core.buffer import WriteBuffer
 from repro.core.config import HiNFSConfig
 from repro.core.writeback import WritebackTask
+from repro.engine.errors import DeadlockError, ThreadDiagnostic
 from repro.engine.stats import CAT_READ_ACCESS, CAT_WRITE_ACCESS
-from repro.fs.errors import IsADirectory
+from repro.fs.errors import IsADirectory, MediaError
 from repro.fs.pmfs.layout import block_addr
 from repro.fs.pmfs.pmfs import PMFS
 from repro.nvmm.config import BLOCK_SIZE, CACHELINE_SIZE
@@ -291,6 +292,27 @@ class HiNFS(PMFS):
         """Get a free DRAM block (stalling on the flusher if dry)."""
         if self.buffer.free_blocks == 0:
             self.writeback.demand_reclaim(ctx)
+        if self.buffer.free_blocks == 0:
+            # Demand reclaim freed nothing: every buffered block is stuck
+            # (e.g. its writeback target sits on bad media).  Raise the
+            # diagnosable deadlock instead of overfilling the buffer.
+            notes = []
+            model = getattr(self.device, "fault_model", None)
+            if model is not None and model.bad_lines:
+                notes.append(
+                    "%d NVMM cacheline(s) are marked bad; writeback of "
+                    "blocks mapped onto them cannot complete"
+                    % len(model.bad_lines)
+                )
+            raise DeadlockError(
+                "DRAM write buffer exhausted: demand reclaim freed no "
+                "blocks (%d buffered, 0 free)" % self.buffer.used_blocks,
+                diagnostics=[
+                    ThreadDiagnostic.of(ctx),
+                    ThreadDiagnostic.of(self.writeback.ctx),
+                ],
+                notes=notes,
+            )
         block = self.buffer.insert(ino, file_block, nvmm_block)
         if fresh:
             # Freshly-allocated NVMM blocks are all zeroes; materialise
@@ -404,7 +426,7 @@ class HiNFS(PMFS):
         """Persist one buffered block and release it."""
         self.flush_blocks(ctx, [block])
 
-    def flush_blocks(self, ctx, blocks, parallel=False):
+    def flush_blocks(self, ctx, blocks, parallel=False, record_errors=False):
         """Persist a batch of buffered blocks to NVMM, then release them.
 
         ``parallel=True`` overlaps the dirty runs across the NVMM writer
@@ -417,8 +439,18 @@ class HiNFS(PMFS):
         (ordered mode).  With CLFW only dirty cacheline runs are written;
         the HiNFS-NCLFW ablation writes back every valid line of a dirty
         block.
+
+        Media errors: with ``record_errors=False`` (foreground fsync /
+        O_SYNC) a failed persist raises EIO to the caller and the
+        affected blocks stay buffered for a later retry.  Background
+        writeback passes ``record_errors=True``: nobody is there to
+        raise at, so the block's acknowledged-but-unpersistable data is
+        dropped and the failure is recorded against the inode's errseq --
+        the next fsync/close of the file reports it (Linux writeback
+        semantics: the data is lost, the error is not).
         """
         ends = []
+        failed = set()
         for block in blocks:
             if self.hconfig.enable_clfw:
                 mask = block.bitmap.dirty
@@ -427,21 +459,38 @@ class HiNFS(PMFS):
             if not mask:
                 continue
             dst_base = block_addr(block.nvmm_block)
-            for start, nlines in iter_runs(mask):
-                data = self.buffer.read_from(
-                    ctx, block, start * CACHELINE_SIZE, nlines * CACHELINE_SIZE
-                )
-                dst = dst_base + start * CACHELINE_SIZE
-                if parallel:
-                    ends.append(
-                        self.device.write_persistent_async(ctx, dst, data)
+            try:
+                for start, nlines in iter_runs(mask):
+                    data = self.buffer.read_from(
+                        ctx, block, start * CACHELINE_SIZE,
+                        nlines * CACHELINE_SIZE
                     )
-                else:
-                    self.device.write_persistent(ctx, dst, data)
+                    dst = dst_base + start * CACHELINE_SIZE
+                    if parallel:
+                        ends.append(
+                            self.device.write_persistent_async(ctx, dst, data)
+                        )
+                    else:
+                        self.device.write_persistent(ctx, dst, data)
+            except MediaError:
+                if not record_errors:
+                    if ends:
+                        ctx.sync_to(max(ends), CAT_WRITE_ACCESS)
+                    raise
+                self.note_wb_error(block.ino)
+                failed.add(id(block))
+                self.env.stats.bump("hinfs_wb_media_errors")
+                continue
             self.env.stats.bump("hinfs_flushed_lines", popcount(mask))
         if ends:
             ctx.sync_to(max(ends), CAT_WRITE_ACCESS)
         for block in blocks:
+            if id(block) in failed:
+                # Data lost: complete the deferred commits (the metadata
+                # is already acknowledged) and free the DRAM block so the
+                # buffer cannot wedge on unpersistable lines.
+                self.discard_block(ctx, block)
+                continue
             block.bitmap.clean()
             self._complete_pending(ctx, block)
             self.buffer.evict(block)
@@ -459,9 +508,13 @@ class HiNFS(PMFS):
         block.pending_txs.clear()
 
     def _wrap_barrier(self, ctx):
-        """Journal recycling: force every deferred commit closed."""
+        """Journal recycling: force every deferred commit closed.
+
+        Must not abort half-way (the wrap needs every transaction
+        closed), so media errors are recorded, not raised.
+        """
         self.flush_blocks(ctx, self.buffer.all_blocks_lrw_order(),
-                          parallel=True)
+                          parallel=True, record_errors=True)
 
     # ------------------------------------------------------------------
     # memory-mapped I/O (paper Section 4.2)
@@ -503,9 +556,10 @@ class HiNFS(PMFS):
     # ------------------------------------------------------------------
 
     def unmount(self, ctx):
-        """Flush all DRAM blocks to NVMM (paper Section 3.2)."""
+        """Flush all DRAM blocks to NVMM (paper Section 3.2).  Best
+        effort on bad media: errors are recorded, the drain completes."""
         self.flush_blocks(ctx, self.buffer.all_blocks_lrw_order(),
-                          parallel=True)
+                          parallel=True, record_errors=True)
         super().unmount(ctx)
 
     def drop_caches(self):

@@ -67,10 +67,15 @@ class WritebackTask(BackgroundTask):
             if len(victims) >= self.config.reclaim_batch:
                 break
             victims.append(block)
-        self.hinfs.flush_blocks(self.ctx, victims, parallel=True)
-        self.env.stats.bump("writeback_demand_stalls")
-        self.env.stats.bump("writeback_demand_blocks", len(victims))
-        fg_ctx.sync_to(self.ctx.now)
+        with fg_ctx.waiting("hinfs-writeback demand reclaim "
+                            "(%d victim blocks)" % len(victims)):
+            with self.ctx.waiting("flushing %d demand-reclaim victims"
+                                  % len(victims)):
+                self.hinfs.flush_blocks(self.ctx, victims, parallel=True,
+                                        record_errors=True)
+            self.env.stats.bump("writeback_demand_stalls")
+            self.env.stats.bump("writeback_demand_blocks", len(victims))
+            fg_ctx.sync_to(self.ctx.now)
         # Let the background continue towards High_f off the critical path.
         self.signal_pressure(fg_ctx.now)
         return len(victims)
@@ -87,7 +92,8 @@ class WritebackTask(BackgroundTask):
                 victims.append(block)
             if not victims:
                 return
-            self.hinfs.flush_blocks(self.ctx, victims, parallel=True)
+            self.hinfs.flush_blocks(self.ctx, victims, parallel=True,
+                                    record_errors=True)
             self.env.stats.bump("writeback_pressure_blocks", len(victims))
 
     def _journal_relief(self):
@@ -98,7 +104,8 @@ class WritebackTask(BackgroundTask):
             return
         victims = [block for block in self.hinfs.buffer.all_blocks_lrw_order()
                    if block.pending_txs]
-        self.hinfs.flush_blocks(self.ctx, victims, parallel=True)
+        self.hinfs.flush_blocks(self.ctx, victims, parallel=True,
+                                record_errors=True)
         self.env.stats.bump("writeback_journal_relief_blocks", len(victims))
 
     def _flush_aged(self):
@@ -109,7 +116,8 @@ class WritebackTask(BackgroundTask):
             if block.is_dirty
             and now - block.last_written_ns >= self.config.dirty_age_ns
         ]
-        self.hinfs.flush_blocks(self.ctx, victims, parallel=True)
+        self.hinfs.flush_blocks(self.ctx, victims, parallel=True,
+                                record_errors=True)
         self.env.stats.bump("writeback_aged_blocks", len(victims))
 
     def _periodic_flush(self):
@@ -121,5 +129,6 @@ class WritebackTask(BackgroundTask):
             block for block in self.hinfs.buffer.all_blocks_lrw_order()
             if block.is_dirty and now - block.last_written_ns >= interval
         ]
-        self.hinfs.flush_blocks(self.ctx, victims, parallel=True)
+        self.hinfs.flush_blocks(self.ctx, victims, parallel=True,
+                                record_errors=True)
         self.env.stats.bump("writeback_periodic_blocks", len(victims))

@@ -21,7 +21,7 @@ from repro.engine.background import BackgroundRegistry, BackgroundTask
 from repro.engine.clock import NS_PER_SEC, VirtualClock, format_ns
 from repro.engine.context import ExecContext
 from repro.engine.env import SimEnv
-from repro.engine.errors import DeadlockError, SimulationError
+from repro.engine.errors import DeadlockError, SimulationError, ThreadDiagnostic
 from repro.engine.resources import FCFSServers
 from repro.engine.scheduler import Scheduler
 from repro.engine.stats import SimStats, TimeBreakdown
@@ -39,6 +39,7 @@ __all__ = [
     "SimStats",
     "SimThread",
     "SimulationError",
+    "ThreadDiagnostic",
     "TimeBreakdown",
     "VirtualClock",
     "format_ns",

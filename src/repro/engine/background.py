@@ -11,7 +11,7 @@ work is off the critical path unless the buffer runs dry.
 """
 
 from repro.engine.context import ExecContext
-from repro.engine.errors import SimulationError
+from repro.engine.errors import DeadlockError, SimulationError, ThreadDiagnostic
 
 #: Returned by :meth:`BackgroundTask.next_due_ns` when the task has no
 #: scheduled work.
@@ -68,10 +68,25 @@ class BackgroundRegistry:
                 task.run_due(horizon_ns)
                 after = task.next_due_ns()
                 if after <= before:
-                    raise SimulationError(
+                    raise DeadlockError(
                         "background task %r made no progress (due %r -> %r)"
-                        % (task.name, before, after)
+                        % (task.name, before, after),
+                        diagnostics=self._diagnostics(),
                     )
             rounds += 1
             if rounds > self._MAX_ROUNDS:
-                raise SimulationError("background registry livelock")
+                raise DeadlockError(
+                    "background registry livelock",
+                    diagnostics=self._diagnostics(),
+                )
+
+    def _diagnostics(self):
+        return [
+            ThreadDiagnostic(
+                task.name,
+                task.ctx.now,
+                getattr(task.ctx, "waiting_on", None)
+                or "next wakeup due at %r ns" % (task.next_due_ns(),),
+            )
+            for task in self._tasks
+        ]

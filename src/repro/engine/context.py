@@ -21,6 +21,9 @@ class ExecContext:
         self.env = env
         self.name = name
         self.clock = VirtualClock(start_ns)
+        #: Human-readable description of what this thread is currently
+        #: blocked on (set around waits; read by deadlock diagnostics).
+        self.waiting_on = None
 
     @property
     def now(self):
@@ -47,6 +50,21 @@ class ExecContext:
         if wait > 0:
             self.charge(wait, category)
         return self.clock.now
+
+    @contextmanager
+    def waiting(self, what):
+        """Label this thread as blocked on ``what`` for the duration.
+
+        Purely diagnostic: if a deadlock is detected while the label is
+        set, the resulting :class:`~repro.engine.errors.DeadlockError`
+        reports it per thread.
+        """
+        previous = self.waiting_on
+        self.waiting_on = what
+        try:
+            yield self
+        finally:
+            self.waiting_on = previous
 
     # -- syscall accounting ---------------------------------------------
 

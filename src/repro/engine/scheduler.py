@@ -12,6 +12,7 @@ DRAM-buffer pressure.
 import heapq
 import itertools
 
+from repro.engine.errors import DeadlockError, ThreadDiagnostic
 from repro.engine.thread import SimThread
 
 
@@ -49,9 +50,25 @@ class Scheduler:
                 # past the deadline too, so the run is over.
                 break
             self.env.background.advance_to(thread.now)
-            if thread.step():
+            try:
+                stepped = thread.step()
+            except DeadlockError as exc:
+                # Enrich with the whole fleet's state: the blocked thread
+                # alone rarely explains a deadlock.
+                raise exc.attach(self.diagnostics(exclude=exc.diagnostics))
+            if stepped:
                 heapq.heappush(heap, (thread.now, next(self._counter), thread))
         return self.elapsed_ns()
+
+    def diagnostics(self, exclude=()):
+        """Per-thread :class:`ThreadDiagnostic` list for deadlock reports."""
+        seen = {d.name for d in exclude}
+        out = []
+        for thread in self.threads:
+            if thread.finished or thread.name in seen:
+                continue
+            out.append(ThreadDiagnostic.of(thread.ctx))
+        return out
 
     def elapsed_ns(self):
         """Makespan across foreground threads (0 if none ran)."""

@@ -1,0 +1,22 @@
+"""Deterministic fault injection for the simulated NVMM storage stack.
+
+Three cooperating pieces:
+
+- :mod:`repro.faults.media` -- a seeded registry of bad / transiently
+  failing NVMM cachelines, attached to :class:`repro.nvmm.device.NVMMDevice`;
+  poisoned lines fail reads and persists with EIO
+  (:class:`repro.fs.errors.MediaError`).
+- :mod:`repro.faults.errseq` -- Linux ``errseq_t``-style tracking so an
+  asynchronous writeback failure is reported by the *next* fsync/close of
+  the file, exactly once per file descriptor.
+- :mod:`repro.faults.crashpoints` -- a CrashMonkey-style crash-state
+  explorer: it records every persist event and flush/fence boundary of an
+  operation sequence, reconstructs the NVMM image a power failure would
+  leave at each point (plus sampled uncontrolled-eviction subsets), then
+  replays recovery and checks file-system invariants.
+"""
+
+from repro.faults.errseq import ErrseqMap
+from repro.faults.media import MediaFaultModel
+
+__all__ = ["ErrseqMap", "MediaFaultModel"]

@@ -1,0 +1,605 @@
+"""Crash-point exploration for the NVMM file systems.
+
+CrashMonkey-style, adapted to byte-addressable persistence: instead of
+reordering bios, the explorer records the *persistence tape* of an
+operation sequence -- every volatile (cached) store, every byte range
+that actually reached the persistence domain (``clflush`` / non-temporal
+store), and every flush/fence ordering boundary -- via the observer hook
+on :class:`repro.mem.cpucache.CachedPersistentRegion`.
+
+From the tape it reconstructs the NVMM image a power failure would leave
+behind at **every** event prefix (which covers every clflush/mfence
+boundary), plus, per operation, a seeded sample of *uncontrolled
+eviction* states: the same prefix image with a random subset of the
+then-dirty CPU-cache lines written back, modelling lines the cache
+evicted on its own before the crash.
+
+Each reconstructed state is mounted on a fresh device and the recovered
+file system is checked against invariants derived from the operations
+that had completed before the crash point:
+
+1. recovery succeeds (journal replay / rollback is correct);
+2. durably-acknowledged namespace operations survive (created files
+   exist, unlinked files are gone, a rename shows exactly one name --
+   and *during* a rename, at least one of the two names);
+3. fsynced (or O_SYNC-written) bytes are never lost;
+4. every file's size matches its readable contents;
+5. the rebuilt allocator agrees exactly with the union of all block
+   maps: no block referenced twice, none out of range, no orphans;
+6. a second crash immediately after recovery mounts cleanly too.
+
+Everything is deterministic: the only randomness is a seeded
+``random.Random`` used for eviction-subset sampling.
+"""
+
+import hashlib
+import random
+
+from repro.core import HiNFS, HiNFSConfig
+from repro.engine.context import ExecContext
+from repro.engine.env import SimEnv
+from repro.fs import flags as f
+from repro.fs.errors import FSError
+from repro.fs.pmfs.pmfs import PMFS
+from repro.fs.vfs import VFS
+from repro.nvmm.config import CACHELINE_SIZE, NVMMConfig
+from repro.nvmm.device import NVMMDevice
+from repro.workloads.base import payload
+
+EV_STORE = "store"      # volatile store into the CPU cache
+EV_PERSIST = "persist"  # bytes reached the persistence domain
+
+
+class TapeRecorder:
+    """Observer that records the persistence tape of a region."""
+
+    def __init__(self):
+        self.events = []       # (kind, addr, bytes)
+        self.boundaries = []   # event indices of clflush/fence points
+        self.enabled = True
+
+    # -- CachedPersistentRegion observer protocol ----------------------
+
+    def on_cached_write(self, addr, data):
+        if self.enabled:
+            self.events.append((EV_STORE, addr, bytes(data)))
+
+    def on_persist(self, addr, data):
+        if self.enabled:
+            self.events.append((EV_PERSIST, addr, bytes(data)))
+
+    def on_flush_boundary(self, region):
+        if self.enabled:
+            self.boundaries.append(len(self.events))
+
+    def on_fence(self, region):
+        if self.enabled:
+            self.boundaries.append(len(self.events))
+
+
+class ShadowImage:
+    """Replays a tape, mirroring the cache model's crash semantics.
+
+    Maintains the persistent image and the set of dirty (volatile)
+    cachelines as they were at each point of the recorded run, so any
+    prefix yields (a) the post-crash image and (b) the eviction
+    candidates -- whole dirty lines that may additionally persist.
+    """
+
+    def __init__(self, baseline):
+        self.image = bytearray(baseline)
+        self.dirty = {}  # line index -> bytearray(CACHELINE_SIZE)
+
+    def _line_buf(self, line):
+        buf = self.dirty.get(line)
+        if buf is None:
+            base = line * CACHELINE_SIZE
+            end = min(base + CACHELINE_SIZE, len(self.image))
+            buf = bytearray(self.image[base:end])
+            buf.extend(b"\0" * (CACHELINE_SIZE - len(buf)))
+            self.dirty[line] = buf
+        return buf
+
+    def apply(self, event):
+        kind, addr, data = event
+        first = addr // CACHELINE_SIZE
+        last = (addr + len(data) - 1) // CACHELINE_SIZE if data else first
+        if kind == EV_STORE:
+            pos = addr
+            view = memoryview(data)
+            while view:
+                line = pos // CACHELINE_SIZE
+                off = pos % CACHELINE_SIZE
+                take = min(CACHELINE_SIZE - off, len(view))
+                self._line_buf(line)[off:off + take] = view[:take]
+                pos += take
+                view = view[take:]
+        else:
+            for line in range(first, last + 1):
+                self.dirty.pop(line, None)
+            self.image[addr:addr + len(data)] = data
+
+    def crash_image(self, evict_lines=()):
+        """Post-power-failure image; ``evict_lines`` persisted first."""
+        image = bytes(self.image)
+        if not evict_lines:
+            return image
+        image = bytearray(image)
+        for line in evict_lines:
+            buf = self.dirty[line]
+            base = line * CACHELINE_SIZE
+            end = min(base + CACHELINE_SIZE, len(image))
+            image[base:end] = buf[: end - base]
+        return bytes(image)
+
+
+class Expectations:
+    """What must hold in any crash state taken at or after a checkpoint."""
+
+    __slots__ = ("present", "absent", "fsynced", "either_present")
+
+    def __init__(self):
+        self.present = set()   # paths that must exist
+        self.absent = set()    # paths that must not exist
+        #: path -> (bytes, clean): fsync-acknowledged content.  ``clean``
+        #: means no later write touched the file, so the recovered prefix
+        #: must match byte-for-byte; otherwise only the length guarantee
+        #: holds (fsynced bytes may be legally overwritten, never lost).
+        self.fsynced = {}
+        #: (old, new) pairs inside a rename window: at least one of the
+        #: two names must resolve (rename atomicity).
+        self.either_present = []
+
+    def copy(self):
+        out = Expectations()
+        out.present = set(self.present)
+        out.absent = set(self.absent)
+        out.fsynced = dict(self.fsynced)
+        out.either_present = list(self.either_present)
+        return out
+
+
+class Violation:
+    """One invariant failure at one reconstructed crash state."""
+
+    __slots__ = ("fs_kind", "op_index", "event_index", "evicted", "message")
+
+    def __init__(self, fs_kind, op_index, event_index, evicted, message):
+        self.fs_kind = fs_kind
+        self.op_index = op_index
+        self.event_index = event_index
+        self.evicted = tuple(evicted)
+        self.message = message
+
+    def __str__(self):
+        where = "%s op#%d event#%d" % (self.fs_kind, self.op_index,
+                                       self.event_index)
+        if self.evicted:
+            where += " evicted=%s" % (list(self.evicted),)
+        return "[%s] %s" % (where, self.message)
+
+
+class ExplorationReport:
+    """Outcome of one exploration run."""
+
+    def __init__(self, fs_kind, ops):
+        self.fs_kind = fs_kind
+        self.ops = list(ops)
+        self.events = 0
+        self.boundaries = 0
+        self.states_checked = 0
+        self.states_deduped = 0
+        self.eviction_draws = {}  # op index -> sampled eviction subsets
+        self.failures = []
+
+    @property
+    def ok(self):
+        return not self.failures
+
+    def raise_if_failed(self):
+        if self.failures:
+            head = self.failures[:10]
+            more = len(self.failures) - len(head)
+            text = "\n".join(str(v) for v in head)
+            if more:
+                text += "\n... and %d more" % more
+            raise AssertionError(
+                "%d crash-state invariant violation(s):\n%s"
+                % (len(self.failures), text)
+            )
+
+    def summary(self):
+        return (
+            "%s: %d ops, %d tape events, %d boundaries, %d states checked "
+            "(%d duplicates skipped), %d eviction subsets sampled, %d "
+            "violations"
+            % (self.fs_kind, len(self.ops), self.events, self.boundaries,
+               self.states_checked, self.states_deduped,
+               sum(self.eviction_draws.values()), len(self.failures))
+        )
+
+
+#: A representative mixed sequence used by ``repro crashcheck`` and the
+#: examples: namespace churn, appends, overwrite, fsync, and the rename
+#: patterns (plain move and replace-by-rename) crash tooling cares about.
+DEFAULT_OPS = (
+    ("mkdir", "/d"),
+    ("create", "/a"),
+    ("append", "/a", 5000),
+    ("fsync", "/a"),
+    ("create", "/d/b"),
+    ("append", "/d/b", 1500),
+    ("rename", "/d/b", "/b2"),
+    ("write", "/a", 100, 900),
+    ("sync_write", "/c", 0, 4096),
+    ("rename", "/c", "/a"),
+    ("append", "/a", 300),
+    ("fsync", "/a"),
+    ("unlink", "/b2"),
+    ("truncate", "/a", 2000),
+    ("create", "/d/e"),
+)
+
+
+class CrashPointExplorer:
+    """Run an op sequence, then test every crash state it could leave."""
+
+    def __init__(self, fs_kind, seed=0, eviction_samples_per_op=64,
+                 device_bytes=4 << 20):
+        if fs_kind not in ("pmfs", "hinfs"):
+            raise ValueError("fs_kind must be 'pmfs' or 'hinfs'")
+        self.fs_kind = fs_kind
+        self.seed = seed
+        self.eviction_samples_per_op = eviction_samples_per_op
+        self.device_bytes = device_bytes
+        self._rng = random.Random(seed)
+
+    # -- stack construction -------------------------------------------
+
+    def _fresh_stack(self):
+        env = SimEnv()
+        config = NVMMConfig()
+        device = NVMMDevice(env, config, self.device_bytes)
+        # Small journal and inode table: every crash-state mount scans
+        # the whole ring, so the defaults would dominate the run time.
+        if self.fs_kind == "hinfs":
+            fs = HiNFS(env, device, config, journal_blocks=8, inode_count=64,
+                       hconfig=HiNFSConfig(buffer_bytes=256 << 10))
+        else:
+            fs = PMFS(env, device, config, journal_blocks=8, inode_count=64)
+        vfs = VFS(env, fs, config)
+        return env, config, device, fs, vfs, ExecContext(env, "crashpoints")
+
+    def _mount_state(self, image):
+        env = SimEnv()
+        config = NVMMConfig()
+        device = NVMMDevice(env, config, len(image))
+        device.mem.load_snapshot(image)
+        if self.fs_kind == "hinfs":
+            fs = HiNFS.mount(env, device, config,
+                             hconfig=HiNFSConfig(buffer_bytes=256 << 10))
+        else:
+            fs = PMFS.mount(env, device, config)
+        return device, fs, VFS(env, fs, config), ExecContext(env, "recovery")
+
+    # -- the recorded run ---------------------------------------------
+
+    def _run_ops(self, ops):
+        """Execute ``ops``, recording the tape and expectation checkpoints.
+
+        Returns ``(tape, baseline, checkpoints)`` where checkpoints is a
+        list of ``(event_position, op_index, Expectations)`` in tape
+        order; the expectations entered at an op's *start* are weakened
+        (the op may touch its paths at any intermediate state), the ones
+        at its *end* carry the op's durable guarantees.
+        """
+        env, config, device, fs, vfs, ctx = self._fresh_stack()
+        tape = TapeRecorder()
+        baseline = device.mem.persistent_snapshot()
+        device.mem.observer = tape
+
+        expect = Expectations()
+        checkpoints = [(0, -1, expect.copy())]
+        for op_index, op in enumerate(ops):
+            weakened = self._weaken(expect.copy(), op)
+            checkpoints.append((len(tape.events), op_index, weakened))
+            self._execute(vfs, ctx, op, op_index)
+            expect = self._strengthen(weakened, vfs, ctx, op)
+            checkpoints.append((len(tape.events), op_index, expect.copy()))
+        device.mem.observer = None
+        return tape, baseline, checkpoints
+
+    def _execute(self, vfs, ctx, op, op_index):
+        kind = op[0]
+        if kind == "create":
+            vfs.close(ctx, vfs.open(ctx, op[1], f.O_CREAT | f.O_RDWR))
+        elif kind == "mkdir":
+            vfs.mkdir(ctx, op[1])
+        elif kind == "append":
+            fd = vfs.open(ctx, op[1], f.O_CREAT | f.O_RDWR)
+            size = vfs.stat(ctx, op[1]).size
+            vfs.pwrite(ctx, fd, size, payload(op[2], op_index))
+            vfs.close(ctx, fd)
+        elif kind == "write":
+            fd = vfs.open(ctx, op[1], f.O_CREAT | f.O_RDWR)
+            vfs.pwrite(ctx, fd, op[2], payload(op[3], op_index))
+            vfs.close(ctx, fd)
+        elif kind == "sync_write":
+            fd = vfs.open(ctx, op[1], f.O_CREAT | f.O_RDWR | f.O_SYNC)
+            vfs.pwrite(ctx, fd, op[2], payload(op[3], op_index))
+            vfs.close(ctx, fd)
+        elif kind == "fsync":
+            fd = vfs.open(ctx, op[1], f.O_RDWR)
+            vfs.fsync(ctx, fd)
+            vfs.close(ctx, fd)
+        elif kind == "rename":
+            vfs.rename(ctx, op[1], op[2])
+        elif kind == "unlink":
+            vfs.unlink(ctx, op[1])
+        elif kind == "truncate":
+            vfs.truncate(ctx, op[1], op[2])
+        else:
+            raise ValueError("unknown op kind %r" % (kind,))
+
+    @staticmethod
+    def _weaken(expect, op):
+        """Relax expectations for the paths ``op`` is about to touch."""
+        kind = op[0]
+        if kind in ("create", "mkdir"):
+            expect.absent.discard(op[1])
+        elif kind in ("append", "write", "sync_write"):
+            expect.absent.discard(op[1])
+            if op[1] in expect.fsynced:
+                data, _ = expect.fsynced[op[1]]
+                expect.fsynced[op[1]] = (data, False)
+        elif kind == "unlink":
+            expect.present.discard(op[1])
+            expect.fsynced.pop(op[1], None)
+        elif kind == "rename":
+            old, new = op[1], op[2]
+            expect.present.discard(old)
+            expect.present.discard(new)
+            expect.absent.discard(new)
+            expect.fsynced.pop(old, None)
+            expect.fsynced.pop(new, None)
+            expect.either_present.append((old, new))
+        elif kind == "truncate":
+            expect.fsynced.pop(op[1], None)
+        return expect
+
+    def _strengthen(self, expect, vfs, ctx, op):
+        """Add the guarantees the completed ``op`` acknowledged."""
+        expect = expect.copy()
+        kind = op[0]
+        if kind in ("create", "mkdir", "append", "write", "truncate"):
+            # Namespace metadata commits synchronously on the PMFS family,
+            # so an acknowledged create/open(O_CREAT) is durable.
+            expect.present.add(op[1])
+        elif kind in ("sync_write", "fsync"):
+            expect.present.add(op[1])
+            expect.fsynced[op[1]] = (vfs.read_file(ctx, op[1]), True)
+        elif kind == "unlink":
+            expect.absent.add(op[1])
+        elif kind == "rename":
+            old, new = op[1], op[2]
+            expect.either_present = [
+                pair for pair in expect.either_present if pair != (old, new)
+            ]
+            expect.present.add(new)
+            expect.absent.add(old)
+        return expect
+
+    # -- state enumeration --------------------------------------------
+
+    def explore(self, ops=DEFAULT_OPS):
+        ops = list(ops)
+        report = ExplorationReport(self.fs_kind, ops)
+        tape, baseline, checkpoints = self._run_ops(ops)
+        report.events = len(tape.events)
+        report.boundaries = len(set(tape.boundaries))
+
+        # Checkpoint lookup: for event prefix k, the newest checkpoint at
+        # position <= k governs.
+        def expect_at(k):
+            active = checkpoints[0]
+            for cp in checkpoints:
+                if cp[0] <= k:
+                    active = cp
+                else:
+                    break
+            return active[1], active[2]
+
+        # Per-op event windows, for attributing eviction samples.
+        op_windows = []
+        starts = [cp for cp in checkpoints[1::2]]  # op-start checkpoints
+        for i, (pos, op_index, _) in enumerate(starts):
+            end = starts[i + 1][0] if i + 1 < len(starts) else len(tape.events)
+            op_windows.append((op_index, pos, end))
+
+        seen = {}
+        shadow = ShadowImage(baseline)
+        # Prefix 0 (crash before anything ran) through every event.
+        self._check_dedup(report, seen, shadow, 0, expect_at, ())
+        for k, event in enumerate(tape.events):
+            shadow.apply(event)
+            self._check_dedup(report, seen, shadow, k + 1, expect_at, ())
+
+        # Sampled uncontrolled-eviction subsets, per op: rebuild the
+        # shadow incrementally along the tape and, at randomly chosen
+        # points inside each op's window, persist a random subset of the
+        # dirty lines on top of the prefix image.
+        draw_points = {}  # event index -> list of draw ids
+        for op_index, start, end in op_windows:
+            report.eviction_draws[op_index] = 0
+            if end <= start:
+                continue
+            for _ in range(self.eviction_samples_per_op):
+                k = self._rng.randint(start, end)
+                draw_points.setdefault(k, []).append(op_index)
+        shadow = ShadowImage(baseline)
+        for op_index in draw_points.get(0, ()):
+            report.eviction_draws[op_index] += 1
+            self._check_eviction_draw(report, seen, shadow, 0, expect_at)
+        for k, event in enumerate(tape.events):
+            shadow.apply(event)
+            for op_index in draw_points.get(k + 1, ()):
+                report.eviction_draws[op_index] += 1
+                self._check_eviction_draw(report, seen, shadow, k + 1,
+                                          expect_at)
+        return report
+
+    def _check_eviction_draw(self, report, seen, shadow, k, expect_at):
+        dirty = sorted(shadow.dirty)
+        if dirty:
+            nlines = self._rng.randint(1, len(dirty))
+            evicted = tuple(sorted(self._rng.sample(dirty, nlines)))
+        else:
+            evicted = ()
+        self._check_dedup(report, seen, shadow, k, expect_at, evicted)
+
+    def _check_dedup(self, report, seen, shadow, k, expect_at, evicted):
+        image = shadow.crash_image(evicted)
+        op_index, expect = expect_at(k)
+        key = (hashlib.sha1(image).digest(), id(expect))
+        if key in seen:
+            report.states_deduped += 1
+            return
+        seen[key] = True
+        report.states_checked += 1
+        for message in self._check_state(image, expect):
+            report.failures.append(
+                Violation(self.fs_kind, op_index, k, evicted, message)
+            )
+
+    # -- invariants -----------------------------------------------------
+
+    def _check_state(self, image, expect):
+        problems = []
+        try:
+            device, fs, vfs, ctx = self._mount_state(image)
+        except Exception as exc:  # noqa: BLE001 - any crash is a finding
+            return ["mount failed: %r" % (exc,)]
+        if fs.degraded_reason is not None:
+            problems.append("mount degraded: %s" % fs.degraded_reason)
+            return problems
+        problems.extend(self._check_namespace(vfs, ctx, expect))
+        problems.extend(self._check_files(vfs, ctx))
+        problems.extend(self._check_allocator(fs))
+        if problems:
+            return problems
+        # Crash again right after recovery: remount must also be clean
+        # (recovery itself only persists ordered, flushed state).
+        device.crash()
+        try:
+            _, fs2, vfs2, ctx2 = self._mount_state(
+                device.mem.persistent_snapshot()
+            )
+        except Exception as exc:  # noqa: BLE001
+            return ["remount after recovery failed: %r" % (exc,)]
+        problems.extend(self._check_namespace(vfs2, ctx2, expect))
+        problems.extend(self._check_allocator(fs2))
+        return problems
+
+    def _check_namespace(self, vfs, ctx, expect):
+        problems = []
+        for path in sorted(expect.present):
+            if not vfs.exists(ctx, path):
+                problems.append("durable path %s missing" % path)
+        for path in sorted(expect.absent):
+            if vfs.exists(ctx, path):
+                problems.append("unlinked/renamed-away path %s present" % path)
+        for old, new in expect.either_present:
+            if not vfs.exists(ctx, old) and not vfs.exists(ctx, new):
+                problems.append(
+                    "rename atomicity broken: neither %s nor %s exists"
+                    % (old, new)
+                )
+        for path, (data, clean) in sorted(expect.fsynced.items()):
+            if not vfs.exists(ctx, path):
+                problems.append("fsynced file %s missing" % path)
+                continue
+            recovered = vfs.read_file(ctx, path)
+            if len(recovered) < len(data):
+                problems.append(
+                    "fsynced bytes lost on %s: %d < %d"
+                    % (path, len(recovered), len(data))
+                )
+            elif clean and recovered[: len(data)] != data:
+                problems.append("fsynced content of %s corrupted" % path)
+        return problems
+
+    def _check_files(self, vfs, ctx, root="/"):
+        """Every reachable file reads exactly stat.size bytes."""
+        problems = []
+        try:
+            entries = vfs.readdir(ctx, root)
+        except FSError as exc:
+            return ["readdir(%s) failed: %r" % (root, exc)]
+        for name, _ino in entries:
+            path = root.rstrip("/") + "/" + name
+            try:
+                stat = vfs.stat(ctx, path)
+            except FSError as exc:
+                problems.append("stat(%s) failed: %r" % (path, exc))
+                continue
+            if stat.is_dir:
+                problems.extend(self._check_files(vfs, ctx, path))
+                continue
+            try:
+                contents = vfs.read_file(ctx, path)
+            except FSError as exc:
+                problems.append("read(%s) failed: %r" % (path, exc))
+                continue
+            if len(contents) != stat.size:
+                problems.append(
+                    "%s: size %d but %d readable bytes"
+                    % (path, stat.size, len(contents))
+                )
+        return problems
+
+    @staticmethod
+    def _check_allocator(fs):
+        """The rebuilt allocator agrees exactly with the block maps."""
+        problems = []
+        referenced = {}
+        for inode in fs.itable.live_inodes():
+            blockmap = fs._maps.get(inode.ino)
+            if blockmap is None:
+                continue
+            for block in blockmap.all_physical_blocks():
+                if block in referenced:
+                    problems.append(
+                        "block %d referenced by inodes %d and %d"
+                        % (block, referenced[block], inode.ino)
+                    )
+                referenced[block] = inode.ino
+                if not fs.sb.data_start <= block < fs.sb.total_blocks:
+                    problems.append(
+                        "inode %d references out-of-range block %d"
+                        % (inode.ino, block)
+                    )
+                elif not fs.balloc.is_allocated(block):
+                    problems.append(
+                        "block %d referenced but free in the allocator"
+                        % block
+                    )
+        in_range = [b for b in referenced
+                    if fs.sb.data_start <= b < fs.sb.total_blocks]
+        if fs.balloc.used_count != len(in_range):
+            problems.append(
+                "allocator bitmap has %d used blocks but %d are referenced "
+                "(orphaned blocks)" % (fs.balloc.used_count, len(in_range))
+            )
+        return problems
+
+
+def run_crashcheck(fs_kinds=("pmfs", "hinfs"), seed=0,
+                   eviction_samples_per_op=64, ops=DEFAULT_OPS):
+    """Explore every crash state of ``ops`` on each fs; returns reports."""
+    return [
+        CrashPointExplorer(
+            kind, seed=seed,
+            eviction_samples_per_op=eviction_samples_per_op,
+        ).explore(ops)
+        for kind in fs_kinds
+    ]

@@ -1,0 +1,53 @@
+"""errseq-style deferred-writeback error reporting.
+
+When background writeback (HiNFS's flusher threads, pdflush for the
+block-based baselines) hits a media error, the write has already been
+acknowledged to the application -- the only honest thing left to do is
+report the loss on the *next* ``fsync``/``close`` of that file.  Linux
+solves this with ``errseq_t``: a per-mapping sequence that writeback
+errors advance and every file description samples, so each fd sees a
+given error exactly once.  This is the same mechanism in miniature:
+
+- :meth:`ErrseqMap.record` advances the inode's sequence (a writeback
+  error happened).
+- :meth:`ErrseqMap.sample` is taken at ``open`` time and stored on the
+  open file.
+- :meth:`ErrseqMap.check` compares an fd's cursor against the current
+  sequence, returning True (and advancing the cursor) when an error
+  occurred that this fd has not yet reported.
+"""
+
+
+class ErrseqMap:
+    """Per-inode writeback-error sequences for one file system."""
+
+    def __init__(self):
+        self._seq = {}
+
+    def record(self, ino):
+        """A deferred writeback error occurred on ``ino``."""
+        self._seq[ino] = self._seq.get(ino, 0) + 1
+        return self._seq[ino]
+
+    def sample(self, ino):
+        """Current sequence, stored on a freshly-opened fd as its cursor."""
+        return self._seq.get(ino, 0)
+
+    def check(self, ino, cursor):
+        """Has an error happened since ``cursor``?
+
+        Returns ``(hit, new_cursor)``; the caller stores ``new_cursor``
+        back on the fd so the same error is reported exactly once per fd.
+        """
+        seq = self._seq.get(ino, 0)
+        if seq > cursor:
+            return True, seq
+        return False, cursor
+
+    def drop(self, ino):
+        """Forget an inode's history (unlink)."""
+        self._seq.pop(ino, None)
+
+    def pending(self):
+        """Inodes with at least one recorded error (diagnostics)."""
+        return sorted(ino for ino, seq in self._seq.items() if seq)

@@ -1,0 +1,121 @@
+"""Deterministic NVMM media-fault injection.
+
+Real NVMM is not pristine: cells wear out, stray writes corrupt lines,
+and the memory controller surfaces uncorrectable errors as machine
+checks that the kernel turns into EIO (KucoFS, Chen et al., argues
+PMFS-class systems must survive exactly this).  The
+:class:`MediaFaultModel` is a seeded registry of bad cachelines attached
+to an :class:`~repro.nvmm.device.NVMMDevice`:
+
+- **Permanent faults** (``poison_line``) fail every read and persist of
+  the line until ``heal_line``.
+- **Transient faults** (``inject_transient``) fail a configured number of
+  persist attempts and then succeed; the device retries them with
+  exponential backoff in virtual time and only marks the line bad when
+  the retry budget is exhausted.
+
+All failure decisions are deterministic: the same seed and the same
+access sequence produce the same faults, so fault runs are replayable.
+"""
+
+import random
+
+from repro.mem.region import CACHELINE_SIZE
+
+
+class MediaFaultModel:
+    """Registry of bad and transiently-failing cachelines on one device."""
+
+    def __init__(self, seed=0):
+        self._rng = random.Random(seed)
+        self._bad = set()
+        # line -> remaining persist attempts that will fail
+        self._transient = {}
+        #: Accesses failed so far, by kind (observability + degradation
+        #: thresholds read these).
+        self.read_errors = 0
+        self.persist_errors = 0
+        self.retries = 0
+
+    # -- registry ---------------------------------------------------------
+
+    @property
+    def bad_lines(self):
+        return frozenset(self._bad)
+
+    def poison_line(self, line):
+        """Mark ``line`` permanently bad (uncorrectable)."""
+        self._bad.add(int(line))
+
+    def heal_line(self, line):
+        """Clear a line's faults (media replacement in tests)."""
+        self._bad.discard(line)
+        self._transient.pop(line, None)
+
+    def inject_transient(self, line, failures=1):
+        """Make the next ``failures`` persist attempts of ``line`` fail."""
+        if failures <= 0:
+            raise ValueError("failures must be positive")
+        self._transient[int(line)] = failures
+
+    def scatter(self, nlines, region_lines):
+        """Poison ``nlines`` distinct random lines in ``[0, region_lines)``.
+
+        Returns the poisoned line indices (deterministic per seed).
+        """
+        lines = self._rng.sample(range(region_lines), nlines)
+        for line in lines:
+            self.poison_line(line)
+        return sorted(lines)
+
+    # -- access checks (called by the device) ------------------------------
+
+    @staticmethod
+    def _lines_of(addr, length):
+        if length <= 0:
+            return range(0, 0)
+        first = addr // CACHELINE_SIZE
+        last = (addr + length - 1) // CACHELINE_SIZE
+        return range(first, last + 1)
+
+    def failing_read_lines(self, addr, length):
+        """Permanently-bad lines overlapping a load (reads do not retry:
+        an uncorrectable line is uncorrectable)."""
+        bad = [line for line in self._lines_of(addr, length) if line in self._bad]
+        if bad:
+            self.read_errors += 1
+        return bad
+
+    def probe_persist(self, addr, length):
+        """One persist attempt over a range.
+
+        Returns ``(permanent, transient)`` failing line lists.  Transient
+        counters are consumed by the probe, so a retry loop observes the
+        line recovering once its injected failures are spent.
+        """
+        permanent = []
+        transient = []
+        for line in self._lines_of(addr, length):
+            if line in self._bad:
+                permanent.append(line)
+            elif self._transient.get(line, 0) > 0:
+                self._transient[line] -= 1
+                if self._transient[line] == 0:
+                    del self._transient[line]
+                transient.append(line)
+        if permanent or transient:
+            self.persist_errors += 1
+        return permanent, transient
+
+    def mark_bad(self, line):
+        """Retry budget exhausted: the line is now permanently bad."""
+        self._bad.add(line)
+        self._transient.pop(line, None)
+
+    def __repr__(self):
+        return "MediaFaultModel(bad=%d, transient=%d, errors=%d/%d)" % (
+            len(self._bad),
+            len(self._transient),
+            self.read_errors,
+            self.persist_errors,
+        )

@@ -43,6 +43,11 @@ class FileSystem:
 
     name = "abstract"
 
+    #: Set by :meth:`mount` implementations when the image could not be
+    #: recovered cleanly (e.g. the journal region has bad media lines).
+    #: The VFS flips such a mount read-only (``errors=remount-ro``).
+    degraded_reason = None
+
     # -- namespace ------------------------------------------------------
 
     def lookup(self, ctx, parent_ino, name):
@@ -64,6 +69,15 @@ class FileSystem:
 
     def rmdir(self, ctx, parent_ino, name, ino):
         """Remove an (empty) directory."""
+        raise NotImplementedError
+
+    def rename(self, ctx, old_parent, old_name, new_parent, new_name, ino,
+               replaced_ino=None):
+        """Move ``ino`` from one dirent to another, atomically.
+
+        ``replaced_ino`` is the inode currently at the destination (to be
+        released), or ``None`` when the destination is free.
+        """
         raise NotImplementedError
 
     def readdir(self, ctx, ino):
@@ -96,6 +110,31 @@ class FileSystem:
     def truncate(self, ctx, ino, new_size):
         """Grow or shrink the file to ``new_size`` bytes."""
         raise NotImplementedError
+
+    # -- deferred writeback errors ----------------------------------------
+
+    @property
+    def wb_err(self):
+        """The file system's errseq-style writeback-error map (lazy)."""
+        errs = getattr(self, "_wb_err_map", None)
+        if errs is None:
+            from repro.faults.errseq import ErrseqMap
+
+            errs = self._wb_err_map = ErrseqMap()
+        return errs
+
+    def note_wb_error(self, ino):
+        """Record an asynchronous writeback failure against ``ino``.
+
+        Called by background flushers when a persist fails after the
+        write was already acknowledged; the next ``fsync``/``close`` of
+        the file reports EIO exactly once per fd.  ``wb_error_hook`` (set
+        by the VFS) also fires, feeding the remount-ro error threshold.
+        """
+        self.wb_err.record(ino)
+        hook = getattr(self, "wb_error_hook", None)
+        if hook is not None:
+            hook(ino)
 
     # -- lifecycle --------------------------------------------------------
 

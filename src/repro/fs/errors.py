@@ -38,4 +38,21 @@ class NotEmpty(FSError):
 
 
 class ReadOnly(FSError):
-    """EROFS / EBADF for writes: descriptor not opened for writing."""
+    """EROFS / EBADF for writes: descriptor not opened for writing, or
+    the mount has degraded to read-only (``errors=remount-ro``)."""
+
+
+class MediaError(FSError):
+    """EIO: the NVMM media failed a read or a persist.
+
+    Raised when an access touches a cacheline the fault model has marked
+    bad (uncorrectable), or when a transiently-failing line exhausted its
+    retry budget.  ``addr``/``length`` locate the failed access; ``lines``
+    lists the failing cacheline indices when known.
+    """
+
+    def __init__(self, message, addr=None, length=None, lines=()):
+        super().__init__(message)
+        self.addr = addr
+        self.length = length
+        self.lines = tuple(lines)

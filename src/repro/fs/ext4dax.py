@@ -88,6 +88,16 @@ class Ext4Dax(PMFS):
                                    self._BITMAP_BLOCK))
         super().rmdir(ctx, parent_ino, name, ino)
 
+    def rename(self, ctx, old_parent, old_name, new_parent, new_name, ino,
+               replaced_ino=None):
+        touched = [self._itable_block(ino), self._dir_block(old_parent),
+                   self._dir_block(new_parent)]
+        if replaced_ino is not None:
+            touched += [self._itable_block(replaced_ino), self._BITMAP_BLOCK]
+        self._metadata_touch(ctx, touched)
+        super().rename(ctx, old_parent, old_name, new_parent, new_name, ino,
+                       replaced_ino=replaced_ino)
+
     def write(self, ctx, ino, offset, data, eager=False):
         written = super().write(ctx, ino, offset, data, eager=eager)
         if written:

@@ -16,6 +16,7 @@ from repro.fs.base import FileStat, FileSystem, ROOT_INO, S_IFDIR, S_IFREG
 from repro.fs.errors import (
     ExistsError,
     IsADirectory,
+    MediaError,
     NoSpace,
     NotADirectory,
     NotEmpty,
@@ -68,7 +69,11 @@ class Ext2(FileSystem):
         self.env = env
         self.config = config
         self.bdev = NVMMBlockDevice(env, config, size)
-        self.cache = PageCache(env, config, cache_pages, self._flush_page)
+        # The cache/pdflush callback records media errors (errseq) instead
+        # of raising: eviction and background writeback have no syscall to
+        # fail.  Foreground paths (fsync, O_SYNC) call _flush_page and let
+        # EIO propagate.
+        self.cache = PageCache(env, config, cache_pages, self._flush_page_async)
         env.background.register(PdflushTask(env, self.cache))
         # Reserve a slice for superblock/inode tables/bitmaps.
         reserved = max(64, self.bdev.num_blocks // 64)
@@ -150,6 +155,15 @@ class Ext2(FileSystem):
         disk = self._disk_block(inode, page.file_block, allocate=True)
         self.bdev.write_block(ctx, disk, bytes(page.data))
 
+    def _flush_page_async(self, ctx, page):
+        """Writeback with nobody to raise at: record EIO against the
+        inode's errseq; the next fsync/close of the file reports it."""
+        try:
+            self._flush_page(ctx, page)
+        except MediaError:
+            self.note_wb_error(page.ino)
+            self.env.stats.bump("%s_wb_media_errors" % self.name)
+
     # -- namespace ------------------------------------------------------
 
     def lookup(self, ctx, parent_ino, name):
@@ -202,6 +216,26 @@ class Ext2(FileSystem):
                                    self._BITMAP_BLOCK))
         del parent.entries[name]
         del self._inodes[ino]
+
+    def rename(self, ctx, old_parent, old_name, new_parent, new_name, ino,
+               replaced_ino=None):
+        old_dir = self._inode(old_parent)
+        new_dir = self._inode(new_parent)
+        inode = self._inode(ino)
+        touched = [self._dir_block(old_parent), self._dir_block(new_parent),
+                   self._itable_block(ino)]
+        if replaced_ino is not None:
+            replaced = self._inode(replaced_ino)
+            if replaced.is_dir:
+                raise IsADirectory(new_name)
+            touched += [self._itable_block(replaced_ino), self._BITMAP_BLOCK]
+            self.cache.drop_file(replaced_ino)
+            self.balloc.free_many(replaced.blocks.values())
+            del self._inodes[replaced_ino]
+        self._touch_metadata(ctx, touched, ino=ino)
+        del old_dir.entries[old_name]
+        new_dir.entries[new_name] = ino
+        inode.ctime = ctx.now
 
     def readdir(self, ctx, ino):
         inode = self._inode(ino)

@@ -109,7 +109,9 @@ class Journal:
     # -- header -----------------------------------------------------------
 
     def _read_header_gen(self):
-        raw = self.device.mem.read(self.base_addr, ENTRY_SIZE)
+        # read_media is fault-aware: a poisoned header line fails recovery
+        # with EIO, which mount() turns into a degraded (read-only) mount.
+        raw = self.device.read_media(self.base_addr, ENTRY_SIZE)
         magic, gen = struct.unpack_from(HEADER_FMT, raw)
         return gen if magic == HEADER_MAGIC else 0
 
@@ -229,7 +231,7 @@ class Journal:
         current_gen = self._read_header_gen()
         transactions = {}
         for slot in range(self.capacity):
-            raw = self.device.mem.read(self._slot_addr(slot), ENTRY_SIZE)
+            raw = self.device.read_media(self._slot_addr(slot), ENTRY_SIZE)
             magic, tx_id, kind, gen, length, addr, payload = struct.unpack(
                 ENTRY_FMT, raw
             )

@@ -9,7 +9,14 @@ Figures 7-13 use as the baseline.
 
 from repro.engine.stats import CAT_OTHERS
 from repro.fs.base import FileStat, FileSystem, ROOT_INO, S_IFDIR, S_IFREG
-from repro.fs.errors import IsADirectory, NoSpace, NotADirectory, NotEmpty, NotFound
+from repro.fs.errors import (
+    IsADirectory,
+    MediaError,
+    NoSpace,
+    NotADirectory,
+    NotEmpty,
+    NotFound,
+)
 from repro.fs.pmfs.blockmap import BlockMap
 from repro.fs.pmfs.dirents import Directory
 from repro.fs.pmfs.inodes import InodeTable, KIND_DIR, KIND_FILE
@@ -64,9 +71,34 @@ class PMFS(FileSystem):
         This is the crash-recovery entry point: after ``device.crash()``,
         ``mount`` must produce a consistent file system.
         """
-        fs = cls(env, device, config, _skip_format=True, **kwargs)
+        degraded = None
+        try:
+            fs = cls(env, device, config, _skip_format=True, **kwargs)
+        except MediaError as exc:
+            # Even the journal header is unreadable.  Rebuild the in-DRAM
+            # structures from the raw data plane (the bytes are still
+            # there; only the guarded access path refuses them) so the
+            # mount can come up read-only instead of not at all.
+            model = device.fault_model
+            device.fault_model = None
+            try:
+                fs = cls(env, device, config, _skip_format=True, **kwargs)
+            finally:
+                device.fault_model = model
+            degraded = "journal region unreadable: %s" % exc
         ctx = _FreeContext(env)
-        fs.journal.recover(ctx)
+        if degraded is None:
+            try:
+                fs.journal.recover(ctx)
+            except MediaError as exc:
+                # The journal sits on bad media: the image cannot be
+                # rolled back, so the mount comes up degraded and the VFS
+                # serves it read-only (errors=remount-ro) instead of
+                # crashing.
+                degraded = "journal recovery failed: %s" % exc
+        if degraded is not None:
+            fs.degraded_reason = degraded
+            env.stats.bump("mount_degraded")
         fs._rebuild_from_nvmm()
         return fs
 
@@ -172,6 +204,49 @@ class PMFS(FileSystem):
     def on_release(self, ctx, ino):
         """Hook called before an inode is freed (HiNFS discards its
         buffered blocks here, completing any deferred commits first)."""
+
+    def rename(self, ctx, old_parent, old_name, new_parent, new_name, ino,
+               replaced_ino=None):
+        """POSIX rename as ONE undo-journalled transaction.
+
+        The old dirent removal, the new dirent insertion, and (when the
+        destination existed) the replaced file's release are covered by
+        the same journal generation, so every crash point either keeps
+        the old namespace or shows the completed rename -- never neither
+        name, never both pointing at a half-released inode.
+        """
+        old_dir = self._dir(old_parent)
+        new_dir = self._dir(new_parent)
+        replaced = None
+        if replaced_ino is not None:
+            replaced = self._inode(replaced_ino)
+            if replaced.is_dir:
+                raise IsADirectory(new_name)
+            self.on_release(ctx, replaced_ino)
+        tx = self.journal.begin(ctx)
+        old_dir.remove(ctx, tx, old_name)
+        freed = []
+        if replaced is not None:
+            new_dir.remove(ctx, tx, new_name)
+            blockmap = self._maps.pop(replaced_ino, None)
+            if blockmap is None:
+                blockmap = BlockMap(
+                    self.device, self.journal, self.itable, replaced, self.balloc
+                )
+                blockmap.load_from_nvmm()
+            freed = blockmap.drop_all(ctx, tx)
+            self.itable.free(ctx, tx, replaced)
+        new_dir.add(ctx, tx, new_name, ino)
+        self.itable.write_core(ctx, tx, old_dir.inode)
+        if new_dir is not old_dir:
+            self.itable.write_core(ctx, tx, new_dir.inode)
+        inode = self._inode(ino)
+        inode.ctime = ctx.now
+        self.itable.write_core(ctx, tx, inode)
+        self.journal.commit(ctx, tx)
+        self.balloc.free_many(freed)
+        if replaced is not None:
+            self._dirs.pop(replaced_ino, None)
 
     def readdir(self, ctx, ino):
         directory = self._dir(ino)

@@ -7,6 +7,8 @@ dentry cache, tracks per-syscall time (Figure 12's breakdown), and
 forwards inode-level work to the mounted file system.
 """
 
+from contextlib import contextmanager
+
 from repro.fs import flags as f
 from repro.fs.base import ROOT_INO
 from repro.fs.errors import (
@@ -14,6 +16,7 @@ from repro.fs.errors import (
     ExistsError,
     InvalidArgument,
     IsADirectory,
+    MediaError,
     NotADirectory,
     NotFound,
     ReadOnly,
@@ -23,20 +26,32 @@ from repro.fs.errors import (
 class OpenFile:
     """One entry in the open-file table."""
 
-    __slots__ = ("fd", "ino", "flags", "pos", "path")
+    __slots__ = ("fd", "ino", "flags", "pos", "path", "wb_cursor")
 
-    def __init__(self, fd, ino, flags, path):
+    def __init__(self, fd, ino, flags, path, wb_cursor=0):
         self.fd = fd
         self.ino = ino
         self.flags = flags
         self.pos = 0
         self.path = path
+        #: errseq cursor sampled at open: deferred writeback errors newer
+        #: than this are reported by the next fsync/close on this fd.
+        self.wb_cursor = wb_cursor
 
 
 class VFS:
-    """Path/descriptor layer over one mounted file system."""
+    """Path/descriptor layer over one mounted file system.
 
-    def __init__(self, env, fs, config, sync_mount=False):
+    Failure semantics (``errors=remount-ro``): media errors surface to the
+    caller as EIO (:class:`MediaError`); once ``media_error_threshold``
+    errors have been seen -- synchronous or via background writeback --
+    the mount degrades to read-only: further mutations raise
+    :class:`ReadOnly` while reads of good media keep being served.  A
+    mount whose journal recovery failed starts out degraded.
+    """
+
+    def __init__(self, env, fs, config, sync_mount=False,
+                 media_error_threshold=5):
         self.env = env
         self.fs = fs
         self.config = config
@@ -50,6 +65,62 @@ class VFS:
         # Per-inode bytes written since the last fsync, for the paper's
         # Figure 2 "percentage of fsync bytes" accounting.
         self._unsynced_bytes = {}
+        #: Media errors tolerated before the mount flips read-only.
+        self.media_error_threshold = media_error_threshold
+        self.media_errors = 0
+        self.read_only = False
+        self.ro_reason = None
+        fs.wb_error_hook = self._on_async_media_error
+        if fs.degraded_reason:
+            self._remount_ro(fs.degraded_reason)
+
+    # -- degradation -----------------------------------------------------
+
+    def _remount_ro(self, reason):
+        """Flip the mount read-only instead of crashing the scheduler."""
+        if self.read_only:
+            return
+        self.read_only = True
+        self.ro_reason = reason
+        self.env.stats.bump("vfs_remount_ro")
+
+    def _check_writable(self, what):
+        if self.read_only:
+            raise ReadOnly(
+                "%s on read-only mount (%s)" % (what, self.ro_reason)
+            )
+
+    def _count_media_error(self):
+        self.media_errors += 1
+        self.env.stats.bump("vfs_media_errors")
+        if self.media_errors >= self.media_error_threshold:
+            self._remount_ro(
+                "%d media errors (threshold %d)"
+                % (self.media_errors, self.media_error_threshold)
+            )
+
+    def _on_async_media_error(self, ino):
+        """Background writeback hit bad media; nobody to raise at, so the
+        error only feeds the degradation threshold (and the errseq map,
+        which the next fsync/close of the file reports from)."""
+        self._count_media_error()
+
+    @contextmanager
+    def _media_guard(self):
+        """Count EIO from a synchronous fs call toward remount-ro."""
+        try:
+            yield
+        except MediaError:
+            self._count_media_error()
+            raise
+
+    def _check_wb_error(self, file):
+        """Report a deferred writeback error exactly once per fd."""
+        hit, file.wb_cursor = self.fs.wb_err.check(file.ino, file.wb_cursor)
+        if hit:
+            raise MediaError(
+                "deferred writeback error on %r (EIO)" % file.path
+            )
 
     # -- internals ------------------------------------------------------
 
@@ -110,33 +181,44 @@ class VFS:
             if ino is None:
                 if not flags & f.O_CREAT:
                     raise NotFound(path)
-                ino = self.fs.create_file(ctx, parent, name)
+                self._check_writable("create of %r" % path)
+                with self._media_guard():
+                    ino = self.fs.create_file(ctx, parent, name)
                 self._dcache[(parent, name)] = ino
             else:
                 if self.fs.getattr(ctx, ino).is_dir:
                     raise IsADirectory(path)
                 if flags & f.O_TRUNC and f.writable(flags):
-                    self.fs.truncate(ctx, ino, 0)
+                    self._check_writable("truncate of %r" % path)
+                    with self._media_guard():
+                        self.fs.truncate(ctx, ino, 0)
             fd = self._next_fd
             self._next_fd += 1
-            self._files[fd] = OpenFile(fd, ino, flags, path)
+            self._files[fd] = OpenFile(
+                fd, ino, flags, path, wb_cursor=self.fs.wb_err.sample(ino)
+            )
             self.env.stats.ops_completed += 1
             return fd
 
     def close(self, ctx, fd):
         with ctx.syscall("close"):
             self._syscall_entry(ctx)
-            self._file(fd)
+            file = self._file(fd)
             del self._files[fd]
             self.env.stats.ops_completed += 1
+            # Like Linux filp_close: the fd is gone either way, but a
+            # deferred writeback error unreported on this fd surfaces now.
+            self._check_wb_error(file)
 
     def mkdir(self, ctx, path):
         with ctx.syscall("mkdir"):
             self._syscall_entry(ctx)
+            self._check_writable("mkdir of %r" % path)
             parent, name = self._resolve_parent(ctx, path)
             if self._lookup_child(ctx, parent, name) is not None:
                 raise ExistsError(path)
-            ino = self.fs.mkdir(ctx, parent, name)
+            with self._media_guard():
+                ino = self.fs.mkdir(ctx, parent, name)
             self._dcache[(parent, name)] = ino
             self.env.stats.ops_completed += 1
             return ino
@@ -144,13 +226,15 @@ class VFS:
     def unlink(self, ctx, path):
         with ctx.syscall("unlink"):
             self._syscall_entry(ctx)
+            self._check_writable("unlink of %r" % path)
             parent, name = self._resolve_parent(ctx, path)
             ino = self._lookup_child(ctx, parent, name)
             if ino is None:
                 raise NotFound(path)
             if self.fs.getattr(ctx, ino).is_dir:
                 raise IsADirectory(path)
-            self.fs.unlink(ctx, parent, name, ino)
+            with self._media_guard():
+                self.fs.unlink(ctx, parent, name, ino)
             self._dcache.pop((parent, name), None)
             self._unsynced_bytes.pop(ino, None)
             self.env.stats.ops_completed += 1
@@ -158,14 +242,53 @@ class VFS:
     def rmdir(self, ctx, path):
         with ctx.syscall("rmdir"):
             self._syscall_entry(ctx)
+            self._check_writable("rmdir of %r" % path)
             parent, name = self._resolve_parent(ctx, path)
             ino = self._lookup_child(ctx, parent, name)
             if ino is None:
                 raise NotFound(path)
             if not self.fs.getattr(ctx, ino).is_dir:
                 raise NotADirectory(path)
-            self.fs.rmdir(ctx, parent, name, ino)
+            with self._media_guard():
+                self.fs.rmdir(ctx, parent, name, ino)
             self._dcache.pop((parent, name), None)
+            self.env.stats.ops_completed += 1
+
+    def rename(self, ctx, old_path, new_path):
+        """rename(2): atomically move ``old_path`` to ``new_path``.
+
+        An existing regular file at the destination is replaced (the
+        POSIX overwrite semantics crash-consistency tooling cares about:
+        at no crash point do both names vanish).  Replacing a directory
+        is rejected to keep the namespace model simple.
+        """
+        with ctx.syscall("rename"):
+            self._syscall_entry(ctx)
+            self._check_writable("rename of %r" % old_path)
+            old_parent, old_name = self._resolve_parent(ctx, old_path)
+            ino = self._lookup_child(ctx, old_parent, old_name)
+            if ino is None:
+                raise NotFound(old_path)
+            new_parent, new_name = self._resolve_parent(ctx, new_path)
+            if (old_parent, old_name) == (new_parent, new_name):
+                self.env.stats.ops_completed += 1
+                return
+            replaced = self._lookup_child(ctx, new_parent, new_name)
+            if replaced is not None:
+                moving_dir = self.fs.getattr(ctx, ino).is_dir
+                if self.fs.getattr(ctx, replaced).is_dir:
+                    raise IsADirectory(new_path)
+                if moving_dir:
+                    raise NotADirectory(new_path)
+            with self._media_guard():
+                self.fs.rename(
+                    ctx, old_parent, old_name, new_parent, new_name, ino,
+                    replaced_ino=replaced,
+                )
+            self._dcache.pop((old_parent, old_name), None)
+            self._dcache[(new_parent, new_name)] = ino
+            if replaced is not None:
+                self._unsynced_bytes.pop(replaced, None)
             self.env.stats.ops_completed += 1
 
     def readdir(self, ctx, path):
@@ -210,7 +333,8 @@ class VFS:
                 raise ReadOnly("fd %d not open for reading" % fd)
             if offset < 0 or count < 0:
                 raise InvalidArgument("negative offset/count")
-            data = self.fs.read(ctx, file.ino, offset, count)
+            with self._media_guard():
+                data = self.fs.read(ctx, file.ino, offset, count)
             self.env.stats.ops_completed += 1
             return data
 
@@ -231,8 +355,12 @@ class VFS:
                 raise ReadOnly("fd %d not open for writing" % fd)
             if offset < 0:
                 raise InvalidArgument("negative offset")
+            self._check_writable("write to %r" % file.path)
             eager = self.sync_mount or bool(file.flags & f.O_SYNC)
-            written = self.fs.write(ctx, file.ino, offset, bytes(data), eager=eager)
+            with self._media_guard():
+                written = self.fs.write(
+                    ctx, file.ino, offset, bytes(data), eager=eager
+                )
             self.env.stats.ops_completed += 1
             self.env.stats.bump("app_bytes_written", written)
             if eager:
@@ -247,18 +375,25 @@ class VFS:
         with ctx.syscall("fsync"):
             self._syscall_entry(ctx)
             file = self._file(fd)
-            self.fs.fsync(ctx, file.ino)
+            with self._media_guard():
+                self.fs.fsync(ctx, file.ino)
             self.env.stats.ops_completed += 1
             self.env.stats.bump(
                 "app_bytes_fsynced", self._unsynced_bytes.pop(file.ino, 0)
             )
+            # A deferred error from background writeback of this inode is
+            # reported by the first fsync after it was recorded -- exactly
+            # once per fd (errseq semantics).
+            self._check_wb_error(file)
 
     def truncate(self, ctx, path, new_size):
         with ctx.syscall("truncate"):
             self._syscall_entry(ctx)
+            self._check_writable("truncate of %r" % path)
             parts = [p for p in path.split("/") if p]
             ino = self._walk(ctx, parts)
-            self.fs.truncate(ctx, ino, new_size)
+            with self._media_guard():
+                self.fs.truncate(ctx, ino, new_size)
             self.env.stats.ops_completed += 1
 
     def lseek(self, ctx, fd, pos):

@@ -29,6 +29,16 @@ class CachedPersistentRegion:
         self._persistent = MemoryRegion(size)
         # line index -> bytearray(CACHELINE_SIZE) of newest (volatile) data
         self._dirty_lines = {}
+        #: Optional persistence observer (crash-point exploration).  When
+        #: set, it receives ``on_cached_write(addr, data)`` for volatile
+        #: stores, ``on_persist(addr, data)`` for every byte range that
+        #: becomes durable, ``on_flush_boundary(region)`` after each
+        #: ``clflush``, and ``on_fence(region)`` at every ordering point.
+        self.observer = None
+
+    @property
+    def num_lines(self):
+        return -(-self.size // CACHELINE_SIZE)
 
     # -- helpers ----------------------------------------------------------
 
@@ -60,6 +70,8 @@ class CachedPersistentRegion:
         data = bytes(data)
         if addr < 0 or addr + len(data) > self.size:
             raise IndexError("store outside region")
+        if self.observer is not None:
+            self.observer.on_cached_write(addr, data)
         pos = addr
         remaining = memoryview(data)
         while remaining:
@@ -84,6 +96,8 @@ class CachedPersistentRegion:
         for line in self._line_range(addr, len(data)):
             self._flush_line(line)
         self._persistent.write(addr, data)
+        if self.observer is not None:
+            self.observer.on_persist(addr, data)
 
     # -- flush / ordering ---------------------------------------------------
 
@@ -97,7 +111,15 @@ class CachedPersistentRegion:
         for line in self._line_range(addr, length):
             if self._flush_line(line):
                 flushed += 1
+        if self.observer is not None:
+            self.observer.on_flush_boundary(self)
         return flushed
+
+    def fence(self):
+        """mfence ordering point (a no-op for the data plane; crash-point
+        exploration records it as an enumeration boundary)."""
+        if self.observer is not None:
+            self.observer.on_fence(self)
 
     def _flush_line(self, line):
         buf = self._dirty_lines.pop(line, None)
@@ -105,7 +127,10 @@ class CachedPersistentRegion:
             return False
         base = line * CACHELINE_SIZE
         end = min(base + CACHELINE_SIZE, self.size)
-        self._persistent.write(base, bytes(buf[: end - base]))
+        data = bytes(buf[: end - base])
+        self._persistent.write(base, data)
+        if self.observer is not None:
+            self.observer.on_persist(base, data)
         return True
 
     def flush_all(self):
@@ -114,6 +139,8 @@ class CachedPersistentRegion:
         for line in sorted(self._dirty_lines):
             if self._flush_line(line):
                 flushed += 1
+        if self.observer is not None:
+            self.observer.on_flush_boundary(self)
         return flushed
 
     # -- load path --------------------------------------------------------
@@ -141,13 +168,33 @@ class CachedPersistentRegion:
         """Lines currently volatile (useful for enumerating crash states)."""
         return sorted(self._dirty_lines)
 
+    def dirty_lines_snapshot(self):
+        """Copy of the volatile lines: ``{line_index: line_bytes}``."""
+        return {line: bytes(buf) for line, buf in self._dirty_lines.items()}
+
     def crash(self, evict_lines=()):
         """Power failure: lose volatile lines, except ``evict_lines``.
 
         ``evict_lines`` models lines the cache happened to write back on
         its own before the crash; they persist, everything else volatile
         is lost.  Whole lines persist or vanish atomically.
+
+        Every index in ``evict_lines`` must name a currently-dirty line;
+        a clean or out-of-range index raises :class:`ValueError` so a
+        crash-state enumeration can never silently test the wrong state.
         """
+        evict_lines = list(evict_lines)
+        for line in evict_lines:
+            if not 0 <= line < self.num_lines:
+                raise ValueError(
+                    "evict_lines index %r outside region of %d lines"
+                    % (line, self.num_lines)
+                )
+            if line not in self._dirty_lines:
+                raise ValueError(
+                    "evict_lines index %r is not dirty; a clean line cannot "
+                    "be written back at crash time" % (line,)
+                )
         for line in evict_lines:
             self._flush_line(line)
         self._dirty_lines.clear()
@@ -155,3 +202,15 @@ class CachedPersistentRegion:
     def persistent_snapshot(self):
         """Contents as they would be read after an immediate crash."""
         return self._persistent.snapshot()
+
+    def load_snapshot(self, image):
+        """Replace the persistent contents with ``image`` (crash-state
+        replay); all volatile lines are discarded."""
+        image = bytes(image)
+        if len(image) != self.size:
+            raise ValueError(
+                "snapshot of %d bytes does not match region of %d bytes"
+                % (len(image), self.size)
+            )
+        self._dirty_lines.clear()
+        self._persistent.write(0, image)

@@ -47,6 +47,14 @@ class NVMMConfig:
     #: Cost of an mfence / ordering point.
     fence_ns: int = 20
 
+    # --- media fault handling ---------------------------------------------
+    #: Persist retries attempted on a transiently-failing cacheline before
+    #: the device gives up and marks the line permanently bad.
+    media_retry_limit: int = 3
+    #: Virtual-time backoff before the first persist retry; doubles on
+    #: each subsequent attempt.
+    media_retry_backoff_ns: int = 1_000
+
     # --- software paths ---------------------------------------------------
     #: User/kernel mode switch per syscall.
     syscall_ns: int = 350

@@ -8,6 +8,7 @@ from the stats.
 """
 
 from repro.engine.stats import CAT_OTHERS, CAT_READ_ACCESS, CAT_WRITE_ACCESS
+from repro.fs.errors import MediaError
 from repro.mem.cpucache import CachedPersistentRegion
 from repro.mem.region import MemoryRegion
 from repro.nvmm.config import CACHELINE_SIZE, lines_spanned
@@ -33,6 +34,10 @@ class NVMMDevice:
         self.env = env
         self.config = config
         self.mem = CachedPersistentRegion(size)
+        #: Optional :class:`~repro.faults.media.MediaFaultModel`; when
+        #: attached, reads and persists of registered lines fail with
+        #: :class:`~repro.fs.errors.MediaError` (EIO).
+        self.fault_model = None
         if env.has_resource(NVMM_WRITE_RESOURCE):
             self.write_slots = env.resource(NVMM_WRITE_RESOURCE)
         else:
@@ -44,14 +49,78 @@ class NVMMDevice:
     def size(self):
         return self.mem.size
 
+    def attach_faults(self, fault_model):
+        """Install a media-fault model; returns it for chaining."""
+        self.fault_model = fault_model
+        return fault_model
+
+    # -- fault guards ------------------------------------------------------
+
+    def _guard_read(self, addr, length):
+        if self.fault_model is None:
+            return
+        bad = self.fault_model.failing_read_lines(addr, length)
+        if bad:
+            raise MediaError(
+                "uncorrectable NVMM read error at lines %s" % (bad,),
+                addr=addr, length=length, lines=bad,
+            )
+
+    def _guard_persist(self, ctx, addr, length):
+        """Fail, or retry-with-backoff, persists touching faulty lines.
+
+        Transient faults are retried up to ``media_retry_limit`` times
+        with exponential backoff charged in virtual time; lines still
+        failing afterwards are marked permanently bad and the persist
+        raises :class:`MediaError`.  Permanent faults raise immediately.
+        Runs *before* the data plane mutates, so a failed persist leaves
+        nothing durable.
+        """
+        model = self.fault_model
+        if model is None:
+            return
+        attempt = 0
+        while True:
+            permanent, transient = model.probe_persist(addr, length)
+            if permanent:
+                raise MediaError(
+                    "NVMM persist failed on bad lines %s" % (permanent,),
+                    addr=addr, length=length, lines=permanent,
+                )
+            if not transient:
+                return
+            attempt += 1
+            if attempt > self.config.media_retry_limit:
+                for line in transient:
+                    model.mark_bad(line)
+                raise MediaError(
+                    "NVMM persist retries exhausted; lines %s marked bad"
+                    % (transient,),
+                    addr=addr, length=length, lines=transient,
+                )
+            model.retries += 1
+            self.env.stats.bump("media_persist_retries")
+            if ctx is not None:
+                ctx.charge(
+                    self.config.media_retry_backoff_ns * (1 << (attempt - 1)),
+                    CAT_WRITE_ACCESS,
+                )
+
     # -- loads ------------------------------------------------------------
 
     def read(self, ctx, addr, length, category=CAT_READ_ACCESS):
         """Load bytes; NVMM reads cost the same as DRAM reads."""
-        data = self.mem.read(addr, length)
         ctx.charge(self.config.load_cost_ns(length), category)
+        self._guard_read(addr, length)
+        data = self.mem.read(addr, length)
         self.env.stats.bytes_read_nvmm += length
         return data
+
+    def read_media(self, addr, length):
+        """Fault-checked, untimed load (recovery scans: the data plane
+        must still observe bad lines, but mount setup is not charged)."""
+        self._guard_read(addr, length)
+        return self.mem.read(addr, length)
 
     # -- stores -----------------------------------------------------------
 
@@ -70,6 +139,7 @@ class NVMMDevice:
     def write_persistent(self, ctx, addr, data, category=CAT_WRITE_ACCESS):
         """Non-temporal store: durable on return, pays full NVMM cost."""
         data = bytes(data)
+        self._guard_persist(ctx, addr, len(data))
         self.mem.write_nocache(addr, data)
         nlines = lines_spanned(len(data), addr % CACHELINE_SIZE)
         self._persist_lines(ctx, nlines, category)
@@ -87,6 +157,7 @@ class NVMMDevice:
         ``ctx.sync_to(max(end))`` before acting on the data's durability.
         """
         data = bytes(data)
+        self._guard_persist(ctx, addr, len(data))
         self.mem.write_nocache(addr, data)
         if getattr(ctx, "free", False):
             return ctx.now
@@ -106,6 +177,7 @@ class NVMMDevice:
 
     def clflush(self, ctx, addr, length, category=CAT_WRITE_ACCESS):
         """Flush the lines covering the range; pays NVMM cost per dirty line."""
+        self._guard_persist(ctx, addr, length)
         flushed = self.mem.clflush(addr, length)
         self._persist_lines(ctx, flushed, category)
         if not getattr(ctx, "free", False):
@@ -115,6 +187,7 @@ class NVMMDevice:
     def fence(self, ctx, category=CAT_OTHERS):
         """mfence: an ordering point."""
         ctx.charge(self.config.fence_ns, category)
+        self.mem.fence()
 
     # -- crash ------------------------------------------------------------
 
@@ -124,6 +197,9 @@ class NVMMDevice:
 
     def flush_all(self, ctx=None, category=CAT_WRITE_ACCESS):
         """Flush the whole cache (unmount); charged if a context is given."""
+        if self.fault_model is not None:
+            for line in self.mem.dirty_line_indices():
+                self._guard_persist(ctx, line * CACHELINE_SIZE, CACHELINE_SIZE)
         flushed = self.mem.flush_all()
         if ctx is not None:
             self._persist_lines(ctx, flushed, category)

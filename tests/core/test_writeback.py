@@ -95,3 +95,22 @@ def test_flusher_charges_its_own_timeline():
     # Background reclaim must not consume foreground time.
     assert rig.ctx.now == fg_before
     assert rig.fs.writeback.ctx.now > 0
+
+
+def test_buffer_exhaustion_raises_diagnosable_deadlock():
+    from repro.engine.errors import DeadlockError
+    from repro.faults.media import MediaFaultModel
+
+    rig = make_rig(buffer_bytes=8 * 4096, enable_eager_checker=False)
+    model = rig.device.attach_faults(MediaFaultModel())
+    model.poison_line(rig.device.mem.num_lines - 1)  # unused data line
+    # Simulate a flusher that cannot free anything (e.g. every victim's
+    # writeback target is on bad media).
+    rig.fs.writeback.demand_reclaim = lambda ctx: 0
+    with pytest.raises(DeadlockError) as excinfo:
+        rig.vfs.write_file(rig.ctx, "/big", b"x" * (9 * 4096))
+    text = str(excinfo.value)
+    assert "write buffer exhausted" in text
+    assert "thread 'test'" in text
+    assert "thread 'hinfs-writeback'" in text
+    assert "marked bad" in text

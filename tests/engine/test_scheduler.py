@@ -168,3 +168,62 @@ def test_background_no_progress_detected():
     env.background.register(Stuck(env, "stuck"))
     with pytest.raises(SimulationError):
         env.background.advance_to(100)
+
+
+# -- deadlock diagnostics ------------------------------------------------
+
+
+def test_thread_diagnostic_captures_wait_label():
+    from repro.engine.errors import ThreadDiagnostic
+
+    env = SimEnv()
+    ctx = ExecContext(env, "writer")
+    ctx.charge(250)
+    with ctx.waiting("journal space"):
+        diag = ThreadDiagnostic.of(ctx)
+    assert diag.name == "writer"
+    assert diag.clock_ns == 250
+    assert "journal space" in str(diag)
+    # Outside the wait the label is cleared again.
+    assert ThreadDiagnostic.of(ctx).waiting_on == "nothing"
+
+
+def test_deadlock_error_renders_diagnostics_and_notes():
+    from repro.engine.errors import DeadlockError, ThreadDiagnostic
+
+    exc = DeadlockError(
+        "no progress possible",
+        diagnostics=[ThreadDiagnostic("fg", 10, "buffer space")],
+        notes=["2 NVMM cacheline(s) are marked bad"],
+    )
+    text = str(exc)
+    assert "no progress possible" in text
+    assert "thread 'fg' at t=10ns waiting on buffer space" in text
+    assert "note: 2 NVMM cacheline(s) are marked bad" in text
+    exc.attach([ThreadDiagnostic("wb", 20, "nothing")])
+    assert "thread 'wb'" in str(exc)
+
+
+def test_scheduler_attaches_fleet_state_to_deadlock():
+    from repro.engine.errors import DeadlockError, ThreadDiagnostic
+
+    env = SimEnv()
+    sched = Scheduler(env)
+
+    def bystander(ctx):
+        with ctx.waiting("lock /x"):
+            ctx.charge(1000)
+            yield
+
+    def victim(ctx):
+        raise DeadlockError("stuck", diagnostics=[ThreadDiagnostic.of(ctx)])
+        yield  # pragma: no cover
+
+    sched.spawn("bystander", bystander)
+    sched.spawn("victim", victim)
+    with pytest.raises(DeadlockError) as excinfo:
+        sched.run()
+    text = str(excinfo.value)
+    # The raiser's own state plus the still-blocked bystander's.
+    assert "thread 'victim'" in text
+    assert "thread 'bystander'" in text and "lock /x" in text

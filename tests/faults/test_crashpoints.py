@@ -1,0 +1,95 @@
+"""Crash-point explorer acceptance tests (deterministic, seeded)."""
+
+import pytest
+
+from repro.faults.crashpoints import (
+    DEFAULT_OPS,
+    EV_PERSIST,
+    EV_STORE,
+    CrashPointExplorer,
+    ShadowImage,
+    TapeRecorder,
+)
+from repro.nvmm.config import CACHELINE_SIZE
+
+SHORT_OPS = (
+    ("create", "/a"),
+    ("append", "/a", 1200),
+    ("rename", "/a", "/b"),
+    ("unlink", "/b"),
+)
+
+
+class TestShadowImage:
+    def test_store_is_volatile_until_persist(self):
+        shadow = ShadowImage(b"\0" * (4 * CACHELINE_SIZE))
+        shadow.apply((EV_STORE, 10, b"xyz"))
+        assert shadow.crash_image()[10:13] == b"\0\0\0"
+        assert 0 in shadow.dirty
+        shadow.apply((EV_PERSIST, 10, b"xyz"))
+        assert shadow.crash_image()[10:13] == b"xyz"
+        assert not shadow.dirty
+
+    def test_eviction_overlays_dirty_line(self):
+        shadow = ShadowImage(b"\0" * (4 * CACHELINE_SIZE))
+        shadow.apply((EV_STORE, CACHELINE_SIZE, b"q" * 8))
+        image = shadow.crash_image(evict_lines=(1,))
+        assert image[CACHELINE_SIZE:CACHELINE_SIZE + 8] == b"q" * 8
+        # The un-evicted view is unchanged.
+        assert shadow.crash_image()[CACHELINE_SIZE] == 0
+
+    def test_store_spanning_lines(self):
+        shadow = ShadowImage(b"\0" * (4 * CACHELINE_SIZE))
+        data = bytes(range(100))
+        shadow.apply((EV_STORE, CACHELINE_SIZE - 20, data))
+        assert sorted(shadow.dirty) == [0, 1, 2]
+        image = shadow.crash_image(evict_lines=(0, 1, 2))
+        assert image[CACHELINE_SIZE - 20:CACHELINE_SIZE + 80] == data
+
+
+class TestTapeRecorder:
+    def test_disabled_recorder_drops_events(self):
+        tape = TapeRecorder()
+        tape.on_cached_write(0, b"a")
+        tape.enabled = False
+        tape.on_persist(0, b"a")
+        tape.on_fence(None)
+        assert len(tape.events) == 1 and not tape.boundaries
+
+
+class TestExplorerAcceptance:
+    """Every flush/fence boundary of the mixed sequence recovers clean."""
+
+    @pytest.mark.parametrize("fs_kind", ["pmfs", "hinfs"])
+    def test_default_ops_all_states_consistent(self, fs_kind):
+        explorer = CrashPointExplorer(fs_kind, seed=0,
+                                      eviction_samples_per_op=64)
+        report = explorer.explore(DEFAULT_OPS)
+        report.raise_if_failed()
+        assert report.events > 0
+        assert report.boundaries > 0
+        # The sequence exercises the op kinds the issue names.
+        kinds = {op[0] for op in DEFAULT_OPS}
+        assert {"create", "append", "rename", "unlink"} <= kinds
+        # Every op whose window produced tape events drew its full quota
+        # of sampled eviction subsets; ops that emit no events (a PMFS
+        # fsync is a bare fence) legitimately draw zero.
+        assert len(report.eviction_draws) == len(DEFAULT_OPS)
+        for op_index, draws in report.eviction_draws.items():
+            assert draws in (0, 64), (op_index, draws)
+        assert sum(report.eviction_draws.values()) >= 64 * 10
+
+    def test_same_seed_same_exploration(self):
+        a = CrashPointExplorer("pmfs", seed=7,
+                               eviction_samples_per_op=8).explore(SHORT_OPS)
+        b = CrashPointExplorer("pmfs", seed=7,
+                               eviction_samples_per_op=8).explore(SHORT_OPS)
+        a.raise_if_failed()
+        assert (a.events, a.boundaries, a.states_checked, a.states_deduped,
+                a.eviction_draws) == (b.events, b.boundaries,
+                                      b.states_checked, b.states_deduped,
+                                      b.eviction_draws)
+
+    def test_rejects_unknown_fs(self):
+        with pytest.raises(ValueError):
+            CrashPointExplorer("ext4")

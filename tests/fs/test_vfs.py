@@ -3,7 +3,12 @@
 import pytest
 
 from repro.fs import flags as f
-from repro.fs.errors import InvalidArgument, NotADirectory, NotFound
+from repro.fs.errors import (
+    InvalidArgument,
+    IsADirectory,
+    NotADirectory,
+    NotFound,
+)
 
 
 def test_empty_path_rejected(rig):
@@ -115,3 +120,75 @@ def test_ops_completed_counts_syscalls(rig):
     before = rig.env.stats.ops_completed
     rig.vfs.write_file(rig.ctx, "/f", b"x")  # open + write + close
     assert rig.env.stats.ops_completed - before == 3
+
+
+# -- rename(2) -----------------------------------------------------------
+
+
+def test_rename_moves_file(rig):
+    rig.vfs.write_file(rig.ctx, "/a", b"data")
+    rig.vfs.rename(rig.ctx, "/a", "/b")
+    assert not rig.vfs.exists(rig.ctx, "/a")
+    assert rig.vfs.read_file(rig.ctx, "/b") == b"data"
+
+
+def test_rename_across_directories(rig):
+    rig.vfs.mkdir(rig.ctx, "/d1")
+    rig.vfs.mkdir(rig.ctx, "/d2")
+    rig.vfs.write_file(rig.ctx, "/d1/f", b"x")
+    rig.vfs.rename(rig.ctx, "/d1/f", "/d2/g")
+    assert rig.vfs.read_file(rig.ctx, "/d2/g") == b"x"
+    assert not rig.vfs.exists(rig.ctx, "/d1/f")
+
+
+def test_rename_replaces_existing_file_and_frees_blocks(rig):
+    rig.vfs.write_file(rig.ctx, "/dst", b"old" * 4096, sync=True)
+    used_before = rig.fs.balloc.used_count
+    rig.vfs.write_file(rig.ctx, "/src", b"new", sync=True)
+    rig.vfs.rename(rig.ctx, "/src", "/dst")
+    assert rig.vfs.read_file(rig.ctx, "/dst") == b"new"
+    assert not rig.vfs.exists(rig.ctx, "/src")
+    # The replaced file's blocks went back to the allocator.
+    assert rig.fs.balloc.used_count < used_before
+
+
+def test_rename_same_path_is_noop(rig):
+    rig.vfs.write_file(rig.ctx, "/a", b"keep")
+    rig.vfs.rename(rig.ctx, "/a", "/a")
+    assert rig.vfs.read_file(rig.ctx, "/a") == b"keep"
+
+
+def test_rename_missing_source(rig):
+    with pytest.raises(NotFound):
+        rig.vfs.rename(rig.ctx, "/nope", "/dst")
+
+
+def test_rename_file_over_directory_rejected(rig):
+    rig.vfs.write_file(rig.ctx, "/f", b"x")
+    rig.vfs.mkdir(rig.ctx, "/d")
+    with pytest.raises(IsADirectory):
+        rig.vfs.rename(rig.ctx, "/f", "/d")
+
+
+def test_rename_directory_over_file_rejected(rig):
+    rig.vfs.mkdir(rig.ctx, "/d")
+    rig.vfs.write_file(rig.ctx, "/f", b"x")
+    with pytest.raises(NotADirectory):
+        rig.vfs.rename(rig.ctx, "/d", "/f")
+
+
+def test_rename_updates_dentry_cache(rig):
+    rig.vfs.write_file(rig.ctx, "/a", b"x")
+    rig.vfs.stat(rig.ctx, "/a")  # warm the dcache
+    rig.vfs.rename(rig.ctx, "/a", "/b")
+    with pytest.raises(NotFound):
+        rig.vfs.stat(rig.ctx, "/a")
+    assert rig.vfs.stat(rig.ctx, "/b").size == 1
+
+
+def test_rename_survives_crash(rig):
+    rig.vfs.write_file(rig.ctx, "/a", b"x" * 4096, sync=True)
+    rig.vfs.rename(rig.ctx, "/a", "/b")
+    rig.crash_and_remount()
+    assert not rig.vfs.exists(rig.ctx, "/a")
+    assert rig.vfs.read_file(rig.ctx, "/b") == b"x" * 4096

@@ -17,6 +17,7 @@ from hypothesis import strategies as st
 from repro.core import HiNFS, HiNFSConfig
 from repro.engine.context import ExecContext
 from repro.engine.env import SimEnv
+from repro.faults.crashpoints import CrashPointExplorer
 from repro.fs import flags as f
 from repro.fs.pmfs import PMFS
 from repro.fs.vfs import VFS
@@ -129,3 +130,50 @@ def test_crash_recovery_invariants(fs_kind, ops, data):
     vfs3 = VFS(env, again, config)
     for path in durable:
         assert vfs3.exists(ctx, path)
+
+
+@st.composite
+def explorer_op_sequences(draw):
+    """Valid create/append/rename/unlink sequences for the explorer."""
+    paths = ["/p0", "/p1", "/p2", "/p3"]
+    existing = []
+    ops = []
+    for _ in range(draw(st.integers(min_value=1, max_value=6))):
+        kinds = ["create", "append"]
+        if existing:
+            kinds += ["rename", "unlink"]
+        kind = draw(st.sampled_from(kinds))
+        if kind == "create":
+            path = draw(st.sampled_from(paths))
+            ops.append(("create", path))
+            if path not in existing:
+                existing.append(path)
+        elif kind == "append":
+            path = draw(st.sampled_from(paths))
+            length = draw(st.integers(min_value=1, max_value=3000))
+            ops.append(("append", path, length))
+            if path not in existing:
+                existing.append(path)
+        elif kind == "unlink":
+            path = draw(st.sampled_from(existing))
+            ops.append(("unlink", path))
+            existing.remove(path)
+        else:  # rename; the target may exist (replace-by-rename)
+            old = draw(st.sampled_from(existing))
+            new = draw(st.sampled_from([p for p in paths if p != old]))
+            ops.append(("rename", old, new))
+            existing.remove(old)
+            if new not in existing:
+                existing.append(new)
+    return ops
+
+
+@pytest.mark.parametrize("fs_kind", ["pmfs", "hinfs"])
+@settings(max_examples=6, deadline=None)
+@given(ops=explorer_op_sequences())
+def test_explorer_holds_on_random_sequences(fs_kind, ops):
+    """Every crash state of a random valid sequence recovers consistently."""
+    report = CrashPointExplorer(fs_kind, seed=0,
+                                eviction_samples_per_op=4).explore(ops)
+    report.raise_if_failed()
+    assert report.states_checked > 0

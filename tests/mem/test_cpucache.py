@@ -1,5 +1,6 @@
 """Unit and property tests for the CPU-cache / persistence-domain model."""
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -158,3 +159,33 @@ def test_crash_state_is_union_of_persisted_and_evicted_lines(writes, data):
             assert after[lo:hi] == before_crash[lo:hi]
         else:
             assert after[lo:hi] == persistent_only[lo:hi]
+
+
+def test_crash_rejects_out_of_range_eviction():
+    region = CachedPersistentRegion(512)
+    with pytest.raises(ValueError):
+        region.crash(evict_lines=[region.num_lines])
+    with pytest.raises(ValueError):
+        region.crash(evict_lines=[-1])
+
+
+def test_crash_rejects_clean_line_eviction():
+    region = CachedPersistentRegion(512)
+    region.write(0, b"a")
+    region.clflush(0, 1)
+    # Line 0 is clean: "evicting" it would silently assert nothing.
+    with pytest.raises(ValueError):
+        region.crash(evict_lines=[0])
+
+
+def test_crash_accepts_dirty_line_eviction():
+    region = CachedPersistentRegion(512)
+    region.write(CACHELINE_SIZE, b"zz")
+    region.crash(evict_lines=[1])
+    assert region.read(CACHELINE_SIZE, 2) == b"zz"
+
+
+def test_load_snapshot_rejects_size_mismatch():
+    region = CachedPersistentRegion(512)
+    with pytest.raises(ValueError):
+        region.load_snapshot(b"\0" * 100)
