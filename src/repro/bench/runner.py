@@ -28,7 +28,8 @@ FS_NAMES = (
 class RunResult:
     """Everything measured in one workload run."""
 
-    def __init__(self, fs_name, workload_name, ops, elapsed_ns, stats, fs=None):
+    def __init__(self, fs_name, workload_name, ops, elapsed_ns, stats, fs=None,
+                 trace=None):
         self.fs_name = fs_name
         self.workload_name = workload_name
         self.ops = ops
@@ -36,6 +37,9 @@ class RunResult:
         self.stats = stats
         #: The live file-system object (model-accuracy introspection).
         self.fs = fs
+        #: The :class:`~repro.obs.trace.TraceRing` of the measured run
+        #: (None unless ``run_workload(..., trace_capacity=...)``).
+        self.trace = trace
 
     @property
     def fsync_byte_fraction(self):
@@ -102,14 +106,16 @@ def build_stack(env, fs_name, config, device_size, hinfs_config=None,
 
 def run_workload(fs_name, workload, config=None, device_size=96 << 20,
                  hinfs_config=None, cache_pages=None, duration_ns=None,
-                 sync_mount=False, unmount=False):
+                 sync_mount=False, unmount=False, trace_capacity=None):
     """Run ``workload`` on ``fs_name``; returns a :class:`RunResult`.
 
     The fileset is pre-allocated under a free context (filebench-style);
     statistics are reset afterwards so only the measured run counts.
     ``duration_ns`` stops the run at a simulated-time deadline (the
     paper's 60-second filebench runs); without it the workload runs to
-    completion (trace replay, macrobenchmarks).
+    completion (trace replay, macrobenchmarks).  ``trace_capacity``
+    turns on the request-span trace ring for the measured phase only, so
+    the exported spans and the run's stats describe the same requests.
     """
     config = config or NVMMConfig()
     env = SimEnv()
@@ -122,6 +128,9 @@ def run_workload(fs_name, workload, config=None, device_size=96 << 20,
     fs.drop_caches()  # and clear the OS page cache before measuring
     vfs.reset_accounting()
     env.stats = SimStats()  # measurement starts now
+    if trace_capacity:
+        # After the stats reset, so span totals match stats.layer_time_ns.
+        env.enable_tracing(trace_capacity)
     scheduler = Scheduler(env)
     for tid in range(workload.threads):
         scheduler.spawn("%s-%d" % (workload.name, tid),
@@ -136,7 +145,7 @@ def run_workload(fs_name, workload, config=None, device_size=96 << 20,
         vfs.unmount(slowest.ctx)
         elapsed = slowest.now
     return RunResult(fs_name, workload.name, env.stats.ops_completed,
-                     elapsed, env.stats, fs=fs)
+                     elapsed, env.stats, fs=fs, trace=env.trace)
 
 
 def _bind(workload, vfs, thread_id):

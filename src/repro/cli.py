@@ -6,10 +6,13 @@ Examples::
     hinfs-bench fig7
     hinfs-bench fig9 fig12 --scale medium
     hinfs-bench all --no-check
+    hinfs-bench fig7 --json BENCH_fig07.json
     hinfs-bench crashcheck --fs all --seed 7 --samples 64
+    hinfs-bench trace --fs hinfs --workload fileserver -o trace.json
 """
 
 import argparse
+import json
 import sys
 
 from repro.bench.experiments.common import SCALES
@@ -50,11 +53,81 @@ def crashcheck_main(argv):
     return 0
 
 
+def trace_main(argv):
+    """``trace``: run one workload with the trace spine on and export the
+    per-request spans as Chrome trace-event JSON."""
+    from repro.bench.experiments.common import SCALES, personality_kwargs
+    from repro.bench.runner import FS_NAMES, run_workload
+    from repro.obs.trace import chrome_trace, layer_duration_sums
+    from repro.workloads.filebench import (
+        Fileserver, Varmail, Webproxy, Webserver,
+    )
+
+    personalities = {
+        "fileserver": Fileserver,
+        "webserver": Webserver,
+        "webproxy": Webproxy,
+        "varmail": Varmail,
+    }
+    parser = argparse.ArgumentParser(
+        prog="hinfs-bench trace",
+        description="Run a filebench personality with per-request tracing "
+        "and write a Chrome trace-event JSON file (load it in "
+        "chrome://tracing or Perfetto).",
+    )
+    parser.add_argument("--fs", choices=FS_NAMES, default="hinfs",
+                        help="file system to run (default: hinfs)")
+    parser.add_argument("--workload", choices=sorted(personalities),
+                        default="fileserver",
+                        help="filebench personality (default: fileserver)")
+    parser.add_argument("--scale", choices=sorted(SCALES), default="small",
+                        help="scale preset (default: small)")
+    parser.add_argument("--capacity", type=int, default=65536,
+                        help="trace ring capacity in spans (default: 65536)")
+    parser.add_argument("-o", "--output", default="trace.json",
+                        help="output path (default: trace.json)")
+    args = parser.parse_args(argv)
+
+    scale = SCALES[args.scale]
+    cls = personalities[args.workload]
+    workload = cls(threads=scale.threads, duration_ops=100_000,
+                   **personality_kwargs(scale, args.workload))
+    result = run_workload(
+        args.fs, workload,
+        device_size=scale.device_size,
+        duration_ns=scale.duration_ns,
+        hinfs_config=scale.hinfs_config(),
+        cache_pages=scale.cache_pages,
+        trace_capacity=args.capacity,
+    )
+    ring = result.trace
+    doc = chrome_trace(ring.spans())
+    with open(args.output, "w") as fileobj:
+        json.dump(doc, fileobj, indent=1)
+    print("%s/%s: %d ops, %d spans recorded (%d dropped) -> %s"
+          % (result.fs_name, result.workload_name, result.ops,
+             ring.recorded, ring.dropped, args.output))
+    sums = layer_duration_sums(doc["traceEvents"])
+    for layer in sorted(set(sums) | set(result.stats.layer_time_ns)):
+        trace_ns = sums.get(layer, 0)
+        stats_ns = result.stats.layer_time_ns.get(layer, 0)
+        marker = "ok" if trace_ns == stats_ns else "MISMATCH"
+        print("  %-10s trace %12d ns   stats %12d ns   %s"
+              % (layer, trace_ns, stats_ns, marker))
+    if ring.dropped:
+        print("  (ring evicted %d spans; totals above still cover the "
+              "whole run because stats are fed at span close)"
+              % ring.dropped)
+    return 0
+
+
 def main(argv=None):
     if argv is None:
         argv = sys.argv[1:]
     if argv and argv[0] == "crashcheck":
         return crashcheck_main(argv[1:])
+    if argv and argv[0] == "trace":
+        return trace_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="hinfs-bench",
         description="Regenerate the HiNFS paper's tables and figures.",
@@ -67,6 +140,9 @@ def main(argv=None):
                         help="list available experiments")
     parser.add_argument("--no-check", action="store_true",
                         help="skip the shape assertions")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="also dump the experiments' raw data as JSON "
+                        "(used by CI to archive the fig7 baseline)")
     args = parser.parse_args(argv)
 
     if args.list or not args.experiments:
@@ -79,21 +155,28 @@ def main(argv=None):
     names = list(EXPERIMENTS) if args.experiments == ["all"] else args.experiments
     scale = SCALES[args.scale]
     failures = 0
+    collected = {}
     for name in names:
         if name not in EXPERIMENTS:
             print("unknown experiment %r (try --list)" % name, file=sys.stderr)
             return 2
         print("== %s (scale=%s) ==" % (name, scale.name))
         try:
-            tables, _ = run_experiment(name, scale=scale,
-                                       check=not args.no_check)
+            tables, data = run_experiment(name, scale=scale,
+                                          check=not args.no_check)
         except AssertionError as exc:
             print("SHAPE CHECK FAILED: %s" % exc, file=sys.stderr)
             failures += 1
             continue
+        collected[name] = data
         for table in tables:
             print(table)
             print()
+    if args.json is not None:
+        with open(args.json, "w") as fileobj:
+            json.dump({"scale": scale.name, "experiments": collected},
+                      fileobj, indent=1, sort_keys=True, default=repr)
+        print("wrote %s" % args.json)
     return 1 if failures else 0
 
 

@@ -31,6 +31,7 @@ class BufferBlock(LRWNode):
         "nvmm_block",
         "bitmap",
         "last_written_ns",
+        "last_req_id",
         "pending_txs",
     )
 
@@ -42,6 +43,9 @@ class BufferBlock(LRWNode):
         self.nvmm_block = nvmm_block
         self.bitmap = CachelineBitmap()
         self.last_written_ns = 0
+        #: Request id of the last IORequest that wrote into this block;
+        #: lets fault injection target one in-flight request's writeback.
+        self.last_req_id = None
         #: Open journal transactions whose commit waits on this block
         #: (HiNFS's ordered-mode deferred commit, Section 4.1).
         self.pending_txs = set()

@@ -109,17 +109,21 @@ class HiNFS(PMFS):
     # write path
     # ------------------------------------------------------------------
 
-    def write(self, ctx, ino, offset, data, eager=False):
-        inode = self._inode(ino)
+    def write_iter(self, ctx, req):
+        inode = self._inode(req.ino)
         if inode.is_dir:
-            raise IsADirectory("inode %d" % ino)
+            raise IsADirectory("inode %d" % req.ino)
+        # Contiguous iovecs coalesce here: the request is ONE buffered
+        # operation stream and ONE eager/lazy decision below, however
+        # many fragments the syscall carried.
+        data = req.coalesce()
         if not data:
             return 0
         ctx.charge(self.config.index_lookup_ns)
-        if eager:
+        if req.eager:
             # Case (1): synchronous write -- must be durable on return.
-            return self._write_sync(ctx, inode, offset, data)
-        return self._write_async(ctx, inode, offset, data)
+            return self._write_sync(ctx, inode, req.offset, data, req=req)
+        return self._write_async(ctx, inode, req.offset, data, req=req)
 
     def _open_tail(self, ino):
         """Newest still-relevant PendingTx of a file, or None."""
@@ -129,35 +133,42 @@ class HiNFS(PMFS):
             return None
         return tail
 
-    def _write_async(self, ctx, inode, offset, data):
+    def _write_async(self, ctx, inode, offset, data, req=None):
         """Asynchronous write: buffer unless the block is Eager-Persistent."""
         ino = inode.ino
         tx = self.journal.begin(ctx)
         try:
             return self._write_async_body(ctx, inode, offset, tx,
-                                          memoryview(data))
+                                          memoryview(data), req)
         finally:
             # Success or failure (e.g. ENOSPC mid-write), the transaction
             # must end up committed or chained -- never leaked open.
             self._finish_async_tx(ctx, ino, tx,
                                   self._async_pending.pop(id(tx), None))
 
-    def _write_async_body(self, ctx, inode, offset, tx, view):
+    def _write_async_body(self, ctx, inode, offset, tx, view, req=None):
         ino = inode.ino
         blockmap = self._map(ino)
         mmapped = ino in self._mmapped
         pending = None
         pos = offset
+        # ONE Buffer Benefit Model evaluation per request: the first
+        # touched block decides eager vs. lazy for the whole request
+        # (Inequality (1) is a per-write-pattern judgement, and a
+        # coalesced gather write is one pattern, not N).
+        decided = None
         while view:
             file_block, in_off = divmod(pos, BLOCK_SIZE)
             take = min(BLOCK_SIZE - in_off, len(view))
             chunk = bytes(view[:take])
             self.benefit.record_write(ino, file_block, in_off, take, ctx.now)
             buffered = self.buffer.lookup(ino, file_block)
-            eager_state = mmapped or self.benefit.is_eager(
-                ino, file_block, ctx.now, inode.last_sync
-            )
-            if eager_state and buffered is None:
+            if decided is None:
+                decided = mmapped or self.benefit.is_eager(
+                    ino, file_block, ctx.now, inode.last_sync
+                )
+                self.env.stats.bump("hinfs_benefit_decisions")
+            if decided and buffered is None:
                 # Direct single-copy write to NVMM; safe because the
                 # block's newest data is already persistent (Sec 3.3.2).
                 nvmm_block, fresh = self._ensure_mapped(ctx, tx, blockmap,
@@ -178,6 +189,10 @@ class HiNFS(PMFS):
                     self.env.stats.bump("hinfs_buffer_hits")
                 self._fetch_before_write(ctx, buffered, in_off, take)
                 self.buffer.write_into(ctx, buffered, in_off, chunk, ctx.now)
+                if req is not None:
+                    # Tag the block with its originating request so fault
+                    # injection can target this request's writeback.
+                    buffered.last_req_id = req.req_id
                 if pending is None:
                     pending = PendingTx(tx)
                     self._async_pending[id(tx)] = pending
@@ -239,7 +254,7 @@ class HiNFS(PMFS):
             if not node.blocks and node.tx.open:
                 self.journal.commit(ctx, node.tx)
 
-    def _write_sync(self, ctx, inode, offset, data):
+    def _write_sync(self, ctx, inode, offset, data, req=None):
         """Case (1) eager write: durable (data + metadata) on return."""
         ino = inode.ino
         self._barrier_file(ctx, ino)
@@ -253,6 +268,7 @@ class HiNFS(PMFS):
                 self.journal.commit(ctx, tx)
 
     def _write_sync_body(self, ctx, inode, offset, tx, view):
+        """The per-block persist loop of an eager request."""
         ino = inode.ino
         blockmap = self._map(ino)
         pos = offset
@@ -344,8 +360,9 @@ class HiNFS(PMFS):
     # read path
     # ------------------------------------------------------------------
 
-    def read(self, ctx, ino, offset, count):
+    def read_iter(self, ctx, req):
         """Direct read from DRAM and/or NVMM guided by the bitmaps."""
+        ino, offset, count = req.ino, req.offset, req.total_bytes
         inode = self._inode(ino)
         if inode.is_dir:
             raise IsADirectory("inode %d" % ino)
@@ -451,6 +468,7 @@ class HiNFS(PMFS):
         """
         ends = []
         failed = set()
+        injector = self.request_faults
         for block in blocks:
             if self.hconfig.enable_clfw:
                 mask = block.bitmap.dirty
@@ -460,6 +478,10 @@ class HiNFS(PMFS):
                 continue
             dst_base = block_addr(block.nvmm_block)
             try:
+                if injector is not None:
+                    # Request-targeted fault injection: fail the persist
+                    # of blocks last written by an armed request id.
+                    injector.check(block.last_req_id)
                 for start, nlines in iter_runs(mask):
                     data = self.buffer.read_from(
                         ctx, block, start * CACHELINE_SIZE,
@@ -546,6 +568,15 @@ class HiNFS(PMFS):
         for block in self.buffer.file_blocks(ino):
             if block.file_block >= first_dead:
                 self.discard_block(ctx, block)
+        # The buffered copy of the partial tail block wins over NVMM on
+        # reads, so its bytes past new_size must be zeroed too (PMFS
+        # below zeroes the NVMM side).
+        in_off = new_size % BLOCK_SIZE
+        if in_off:
+            buffered = self.buffer.lookup(ino, new_size // BLOCK_SIZE)
+            if buffered is not None:
+                self.buffer.write_into(ctx, buffered, in_off,
+                                       b"\0" * (BLOCK_SIZE - in_off), ctx.now)
         # The truncate transaction commits synchronously; surviving
         # deferred transactions of this file must commit first.
         self._barrier_file(ctx, ino)

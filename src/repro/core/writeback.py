@@ -15,6 +15,7 @@ which is the only time writeback latency enters the critical path.
 """
 
 from repro.engine.background import NEVER, BackgroundTask
+from repro.obs.trace import LAYER_WRITEBACK
 
 
 class WritebackTask(BackgroundTask):
@@ -71,16 +72,39 @@ class WritebackTask(BackgroundTask):
                             "(%d victim blocks)" % len(victims)):
             with self.ctx.waiting("flushing %d demand-reclaim victims"
                                   % len(victims)):
-                self.hinfs.flush_blocks(self.ctx, victims, parallel=True,
-                                        record_errors=True)
+                self._flush_batch(self.ctx, "demand", victims)
             self.env.stats.bump("writeback_demand_stalls")
             self.env.stats.bump("writeback_demand_blocks", len(victims))
-            fg_ctx.sync_to(self.ctx.now)
+            # The only time writeback latency enters the critical path:
+            # the foreground's wait shows up as a writeback phase on its
+            # own in-flight request's span.
+            with fg_ctx.layer(LAYER_WRITEBACK):
+                fg_ctx.sync_to(self.ctx.now)
         # Let the background continue towards High_f off the critical path.
         self.signal_pressure(fg_ctx.now)
         return len(victims)
 
     # -- work items -----------------------------------------------------------
+
+    def _flush_batch(self, ctx, cause, victims):
+        """Flush one batch under a ``writeback``-layer span.
+
+        When tracing is on the span is tagged with the ids of the
+        requests whose buffered data this batch persists, joining the
+        background timeline to the foreground requests in the exported
+        trace (and letting fault injection target one request's
+        writeback).
+        """
+        meta = None
+        if self.env.trace is not None:
+            meta = {
+                "cause": cause,
+                "req_ids": sorted({block.last_req_id for block in victims
+                                   if block.last_req_id is not None}),
+            }
+        with ctx.span("wb:%s" % cause, layer=LAYER_WRITEBACK, meta=meta):
+            self.hinfs.flush_blocks(ctx, victims, parallel=True,
+                                    record_errors=True)
 
     def _reclaim_to_high(self):
         buffer = self.hinfs.buffer
@@ -92,8 +116,7 @@ class WritebackTask(BackgroundTask):
                 victims.append(block)
             if not victims:
                 return
-            self.hinfs.flush_blocks(self.ctx, victims, parallel=True,
-                                    record_errors=True)
+            self._flush_batch(self.ctx, "pressure", victims)
             self.env.stats.bump("writeback_pressure_blocks", len(victims))
 
     def _journal_relief(self):
@@ -104,8 +127,7 @@ class WritebackTask(BackgroundTask):
             return
         victims = [block for block in self.hinfs.buffer.all_blocks_lrw_order()
                    if block.pending_txs]
-        self.hinfs.flush_blocks(self.ctx, victims, parallel=True,
-                                record_errors=True)
+        self._flush_batch(self.ctx, "journal-relief", victims)
         self.env.stats.bump("writeback_journal_relief_blocks", len(victims))
 
     def _flush_aged(self):
@@ -116,8 +138,7 @@ class WritebackTask(BackgroundTask):
             if block.is_dirty
             and now - block.last_written_ns >= self.config.dirty_age_ns
         ]
-        self.hinfs.flush_blocks(self.ctx, victims, parallel=True,
-                                record_errors=True)
+        self._flush_batch(self.ctx, "aged", victims)
         self.env.stats.bump("writeback_aged_blocks", len(victims))
 
     def _periodic_flush(self):
@@ -129,6 +150,5 @@ class WritebackTask(BackgroundTask):
             block for block in self.hinfs.buffer.all_blocks_lrw_order()
             if block.is_dirty and now - block.last_written_ns >= interval
         ]
-        self.hinfs.flush_blocks(self.ctx, victims, parallel=True,
-                                record_errors=True)
+        self._flush_batch(self.ctx, "periodic", victims)
         self.env.stats.bump("writeback_periodic_blocks", len(victims))

@@ -12,6 +12,7 @@ from contextlib import contextmanager
 
 from repro.engine.clock import VirtualClock
 from repro.engine.stats import CAT_OTHERS
+from repro.obs.trace import LAYER_VFS
 
 
 class ExecContext:
@@ -24,6 +25,9 @@ class ExecContext:
         #: Human-readable description of what this thread is currently
         #: blocked on (set around waits; read by deadlock diagnostics).
         self.waiting_on = None
+        #: The open trace span while this thread is inside one (tracing
+        #: enabled), else None.  Lower layers attach phases to it.
+        self.trace_span = None
 
     @property
     def now(self):
@@ -66,16 +70,64 @@ class ExecContext:
         finally:
             self.waiting_on = previous
 
-    # -- syscall accounting ---------------------------------------------
+    # -- the trace spine's single instrumentation point -------------------
 
     @contextmanager
-    def syscall(self, name):
-        """Record the duration of one syscall for per-syscall breakdowns."""
+    def span(self, name, layer=LAYER_VFS, req=None, meta=None):
+        """Open one pipeline span for the duration of the block.
+
+        This is THE instrumentation point of the request pipeline: at
+        close it feeds the per-syscall breakdown (for ``vfs``-layer
+        spans), the per-layer :meth:`SimStats.add_layer_time` totals,
+        and -- when tracing is enabled -- records the span into the
+        bounded trace ring, all from the same measurement, so exported
+        per-layer trace durations sum to the stats totals by
+        construction.  Untraced runs skip all span allocation.
+        """
+        ring = self.env.trace
         start = self.clock.now
+        sp = None
+        if ring is not None:
+            req_id = req.req_id if req is not None else self.env.next_req_id()
+            sp = ring.begin(name, self.name, start, req_id, layer=layer,
+                            meta=meta)
+            if req is not None:
+                req.span = sp
+        previous = self.trace_span
+        self.trace_span = sp
+        try:
+            yield sp
+        finally:
+            self.trace_span = previous
+            duration = self.clock.now - start
+            if layer == LAYER_VFS:
+                self.env.stats.add_syscall_time(name, duration)
+            if sp is not None:
+                sp.close(self.clock.now)
+                for span_layer, ns in sp.layer_totals().items():
+                    self.env.stats.add_layer_time(span_layer, ns)
+                ring.record(sp)
+
+    @contextmanager
+    def syscall(self, name, req=None):
+        """Record the duration of one syscall for per-syscall breakdowns
+        (and, when tracing, as a ``vfs``-layer span carrying ``req``)."""
+        with self.span(name, layer=LAYER_VFS, req=req) as sp:
+            yield sp
+
+    @contextmanager
+    def layer(self, name):
+        """Record a sub-layer visit (``fs``/``writeback``/``nvmm``) as a
+        phase on the enclosing span.  No-op when untraced."""
+        sp = self.trace_span
+        if sp is None:
+            yield self
+            return
+        enter = self.clock.now
         try:
             yield self
         finally:
-            self.env.stats.add_syscall_time(name, self.clock.now - start)
+            sp.add_phase(name, enter, self.clock.now)
 
     def __repr__(self):
         return "ExecContext(name=%r, now=%d)" % (self.name, self.clock.now)

@@ -7,6 +7,8 @@ off one environment, so constructing a fresh ``SimEnv`` gives a fully
 isolated, reproducible run.
 """
 
+import itertools
+
 from repro.engine.background import BackgroundRegistry
 from repro.engine.errors import SimulationError
 from repro.engine.resources import FCFSServers
@@ -20,6 +22,24 @@ class SimEnv:
         self.stats = SimStats()
         self.background = BackgroundRegistry()
         self._resources = {}
+        #: Monotonic id source for :class:`repro.io.IORequest` objects.
+        self._req_ids = itertools.count(1)
+        #: Trace spine (:class:`repro.obs.trace.TraceRing`) when tracing
+        #: is enabled, else None -- the data path checks this once per
+        #: request, so the default costs nothing.
+        self.trace = None
+
+    def next_req_id(self):
+        """Allocate the next request id (unique within this run)."""
+        return next(self._req_ids)
+
+    def enable_tracing(self, capacity=4096):
+        """Attach a bounded trace ring; returns it (idempotent-ish: a
+        second call replaces the ring)."""
+        from repro.obs.trace import TraceRing
+
+        self.trace = TraceRing(capacity)
+        return self.trace
 
     def add_resource(self, name, capacity):
         if name in self._resources:

@@ -67,6 +67,9 @@ class SimStats:
         self.breakdown = TimeBreakdown()
         self.syscall_time_ns = defaultdict(int)
         self.syscall_counts = defaultdict(int)
+        #: Nanoseconds per pipeline layer (vfs/fs/writeback/nvmm), fed by
+        #: the trace spine's single instrumentation point at span close.
+        self.layer_time_ns = defaultdict(int)
         self.ops_completed = 0
 
     # -- counters -------------------------------------------------------
@@ -86,6 +89,10 @@ class SimStats:
         self.syscall_time_ns[syscall] += int(ns)
         self.syscall_counts[syscall] += 1
 
+    def add_layer_time(self, layer, ns):
+        if ns:
+            self.layer_time_ns[layer] += int(ns)
+
     # -- reporting ------------------------------------------------------
 
     def throughput_ops_per_sec(self, elapsed_ns):
@@ -103,5 +110,6 @@ class SimStats:
             "breakdown": self.breakdown.as_dict(),
             "syscall_time_ns": dict(self.syscall_time_ns),
             "syscall_counts": dict(self.syscall_counts),
+            "layer_time_ns": dict(self.layer_time_ns),
             "counters": dict(self.counters),
         }

@@ -14,9 +14,13 @@ Three cooperating pieces:
   operation sequence, reconstructs the NVMM image a power failure would
   leave at each point (plus sampled uncontrolled-eviction subsets), then
   replays recovery and checks file-system invariants.
+- :mod:`repro.faults.reqfault` -- request-targeted injection: fail the
+  writeback of blocks last written by a specific
+  :class:`repro.io.IORequest` id.
 """
 
 from repro.faults.errseq import ErrseqMap
 from repro.faults.media import MediaFaultModel
+from repro.faults.reqfault import RequestFaultInjector
 
-__all__ = ["ErrseqMap", "MediaFaultModel"]
+__all__ = ["ErrseqMap", "MediaFaultModel", "RequestFaultInjector"]

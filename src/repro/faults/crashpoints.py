@@ -190,6 +190,10 @@ class ExplorationReport:
         self.states_checked = 0
         self.states_deduped = 0
         self.eviction_draws = {}  # op index -> sampled eviction subsets
+        #: op index -> (first_req_id, last_req_id) allocated while that
+        #: op ran, so a crash point (or a RequestFaultInjector arm) can
+        #: be mapped back to the specific in-flight request.
+        self.op_request_ids = {}
         self.failures = []
 
     @property
@@ -300,13 +304,21 @@ class CrashPointExplorer:
 
         expect = Expectations()
         checkpoints = [(0, -1, expect.copy())]
+        op_request_ids = {}
         for op_index, op in enumerate(ops):
             weakened = self._weaken(expect.copy(), op)
             checkpoints.append((len(tape.events), op_index, weakened))
+            # Bracket the op with the env's request-id counter so every
+            # tape event inside it maps to a request-id range.
+            first_req = env.next_req_id()
             self._execute(vfs, ctx, op, op_index)
+            last_req = env.next_req_id()
+            if last_req - first_req > 1:
+                op_request_ids[op_index] = (first_req + 1, last_req - 1)
             expect = self._strengthen(weakened, vfs, ctx, op)
             checkpoints.append((len(tape.events), op_index, expect.copy()))
         device.mem.observer = None
+        self._op_request_ids = op_request_ids
         return tape, baseline, checkpoints
 
     def _execute(self, vfs, ctx, op, op_index):
@@ -397,6 +409,7 @@ class CrashPointExplorer:
         tape, baseline, checkpoints = self._run_ops(ops)
         report.events = len(tape.events)
         report.boundaries = len(set(tape.boundaries))
+        report.op_request_ids = dict(self._op_request_ids)
 
         # Checkpoint lookup: for event prefix k, the newest checkpoint at
         # position <= k governs.

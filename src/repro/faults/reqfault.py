@@ -1,0 +1,46 @@
+"""Request-targeted fault injection.
+
+The unified I/O pipeline tags every buffered block with the id of the
+last :class:`repro.io.IORequest` that wrote it (``last_req_id``), and
+HiNFS's ``flush_blocks`` consults the file system's ``request_faults``
+injector before persisting each block.  Arming a request id here makes
+*that request's* writeback fail with EIO -- letting tests and the
+crash-point explorer ask precise questions ("what happens when exactly
+write #17's data cannot reach NVMM?") instead of poisoning media
+addresses and hoping the right victim lands on them.
+"""
+
+from repro.fs.errors import MediaError
+
+
+class RequestFaultInjector:
+    """Fails the writeback of blocks last written by armed request ids."""
+
+    def __init__(self, req_ids=(), max_hits=None):
+        self._armed = set(req_ids)
+        #: Stop injecting after this many hits (None = unlimited).
+        self.max_hits = max_hits
+        self.hits = 0
+
+    def arm(self, req_id):
+        """Target ``req_id``; returns self for chaining."""
+        self._armed.add(req_id)
+        return self
+
+    def disarm(self, req_id):
+        self._armed.discard(req_id)
+
+    @property
+    def armed(self):
+        return frozenset(self._armed)
+
+    def check(self, req_id):
+        """Raise EIO if ``req_id`` is armed (called from flush paths)."""
+        if req_id is None or req_id not in self._armed:
+            return
+        if self.max_hits is not None and self.hits >= self.max_hits:
+            return
+        self.hits += 1
+        raise MediaError(
+            "injected writeback fault targeting request #%d" % req_id
+        )

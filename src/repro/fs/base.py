@@ -4,7 +4,14 @@ The :class:`repro.fs.vfs.VFS` handles paths, file descriptors, and
 syscall-overhead accounting, then calls into this interface.  Inode
 numbers are opaque positive integers; inode 1 is always the root
 directory.
+
+Data-path operations travel as :class:`repro.io.IORequest` objects
+through :meth:`FileSystem.submit`, which dispatches to the per-fs
+``write_iter``/``read_iter`` hooks; the positional ``read``/``write``
+methods remain as compatibility shims that build a single-iovec request.
 """
+
+from repro.io import OP_READ, OP_WRITE, IORequest
 
 ROOT_INO = 1
 
@@ -90,9 +97,43 @@ class FileSystem:
 
     # -- file I/O ---------------------------------------------------------
 
+    #: Request-targeted fault injector
+    #: (:class:`repro.faults.reqfault.RequestFaultInjector`) or None.
+    request_faults = None
+
+    def submit(self, ctx, req):
+        """Execute one :class:`~repro.io.IORequest` against this fs.
+
+        Dispatches to :meth:`write_iter`/:meth:`read_iter`.  Writes
+        return the number of bytes written; reads return the flat bytes
+        (the VFS scatters them back into the caller's iovecs).
+        """
+        if req.op == OP_WRITE:
+            return self.write_iter(ctx, req)
+        return self.read_iter(ctx, req)
+
+    def write_iter(self, ctx, req):
+        """Write the request's gathered payload at ``req.offset``.
+
+        ``req.eager`` requests synchronous persistence (O_SYNC / sync
+        mount): the bytes must be durable when the call returns.  Returns
+        the number of bytes written.
+        """
+        raise NotImplementedError
+
+    def read_iter(self, ctx, req):
+        """Return up to ``req.total_bytes`` bytes from ``req.offset``
+        (short at EOF) as one flat buffer."""
+        raise NotImplementedError
+
+    # Compatibility shims: internal callers (recovery, crash checking,
+    # tests) that address the fs below the VFS still use the positional
+    # signatures; each builds a single-iovec request.
+
     def read(self, ctx, ino, offset, count):
         """Return up to ``count`` bytes from ``offset`` (short at EOF)."""
-        raise NotImplementedError
+        req = IORequest(self.env.next_req_id(), OP_READ, ino, [count], offset)
+        return self.read_iter(ctx, req)
 
     def write(self, ctx, ino, offset, data, eager=False):
         """Write ``data`` at ``offset``.
@@ -101,7 +142,9 @@ class FileSystem:
         mount): the bytes must be durable when the call returns.  Returns
         the number of bytes written.
         """
-        raise NotImplementedError
+        req = IORequest(self.env.next_req_id(), OP_WRITE, ino, [data], offset,
+                        eager=eager)
+        return self.write_iter(ctx, req)
 
     def fsync(self, ctx, ino):
         """Make all of the inode's data and metadata durable."""

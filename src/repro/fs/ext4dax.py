@@ -98,10 +98,10 @@ class Ext4Dax(PMFS):
         super().rename(ctx, old_parent, old_name, new_parent, new_name, ino,
                        replaced_ino=replaced_ino)
 
-    def write(self, ctx, ino, offset, data, eager=False):
-        written = super().write(ctx, ino, offset, data, eager=eager)
+    def write_iter(self, ctx, req):
+        written = super().write_iter(ctx, req)
         if written:
-            self._metadata_touch(ctx, (self._itable_block(ino),), ino=None)
+            self._metadata_touch(ctx, (self._itable_block(req.ino),), ino=None)
         return written
 
     def truncate(self, ctx, ino, new_size):

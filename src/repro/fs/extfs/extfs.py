@@ -263,7 +263,8 @@ class Ext2(FileSystem):
             self.cache.fill_from_device(page, self.bdev.read_block(ctx, disk))
         return page
 
-    def read(self, ctx, ino, offset, count):
+    def read_iter(self, ctx, req):
+        ino, offset, count = req.ino, req.offset, req.total_bytes
         inode = self._inode(ino)
         if inode.is_dir:
             raise IsADirectory("inode %d" % ino)
@@ -281,7 +282,9 @@ class Ext2(FileSystem):
             remaining -= take
         return bytes(out)
 
-    def write(self, ctx, ino, offset, data, eager=False):
+    def write_iter(self, ctx, req):
+        ino, offset, eager = req.ino, req.offset, req.eager
+        data = req.coalesce()
         inode = self._inode(ino)
         if inode.is_dir:
             raise IsADirectory("inode %d" % ino)
@@ -358,6 +361,15 @@ class Ext2(FileSystem):
             for page in list(self.cache.dirty_pages_of(ino)):
                 if page.file_block >= first_dead:
                     self.cache.drop(page)
+            # Zero the partial tail past new_size (in the cache, dirtied
+            # for writeback) so a later extension reads zeros.
+            in_off = new_size % BLOCK_SIZE
+            tail_fb = new_size // BLOCK_SIZE
+            if in_off and (tail_fb in inode.blocks
+                           or self.cache.lookup(ctx, ino, tail_fb) is not None):
+                page = self._page_for_read(ctx, inode, tail_fb)
+                self.cache.copy_in(ctx, page, in_off,
+                                   b"\0" * (BLOCK_SIZE - in_off), ctx.now)
         inode.size = new_size
 
     # -- journaling hooks (EXT2: none) --------------------------------------

@@ -10,6 +10,11 @@ O_APPEND = 0x400
 #: (the paper's case (1) in Section 3.3.2).
 O_SYNC = 0x1000
 
+# lseek(2) whence values.
+SEEK_SET = 0
+SEEK_CUR = 1
+SEEK_END = 2
+
 _ACCESS_MASK = 0x3
 
 

@@ -262,8 +262,9 @@ class PMFS(FileSystem):
 
     # -- data I/O -----------------------------------------------------------
 
-    def read(self, ctx, ino, offset, count):
+    def read_iter(self, ctx, req):
         """Direct copy NVMM -> user buffer (single copy)."""
+        ino, offset, count = req.ino, req.offset, req.total_bytes
         inode = self._inode(ino)
         if inode.is_dir:
             raise IsADirectory("inode %d" % ino)
@@ -290,8 +291,14 @@ class PMFS(FileSystem):
             remaining -= take
         return bytes(out)
 
-    def write(self, ctx, ino, offset, data, eager=False):
-        """Direct copy user buffer -> NVMM; durable on return."""
+    def write_iter(self, ctx, req):
+        """Direct copy user buffer -> NVMM; durable on return.
+
+        PMFS has no volatile data path, so the request's eager/lazy
+        policy is moot: the gathered payload persists in one pass.
+        """
+        ino, offset = req.ino, req.offset
+        data = req.coalesce()
         inode = self._inode(ino)
         if inode.is_dir:
             raise IsADirectory("inode %d" % ino)
@@ -349,6 +356,16 @@ class PMFS(FileSystem):
                 if file_block >= first_dead:
                     freed.append(blockmap.clear(ctx, tx, file_block))
             self.balloc.free_many(freed)
+            # Zero the partial tail block past new_size so a later
+            # extension reads zeros, not resurfaced stale bytes.
+            in_off = new_size % BLOCK_SIZE
+            if in_off:
+                tail = blockmap.get(new_size // BLOCK_SIZE)
+                if tail is not None:
+                    self.device.write_persistent(
+                        ctx, block_addr(tail) + in_off,
+                        b"\0" * (BLOCK_SIZE - in_off),
+                    )
         inode.size = new_size
         inode.mtime = ctx.now
         self.itable.write_core(ctx, tx, inode)

@@ -5,12 +5,18 @@ VFS charges the user/kernel mode-switch and file-abstraction costs that
 the paper's Figure 1 groups under *Others*, resolves paths through a
 dentry cache, tracks per-syscall time (Figure 12's breakdown), and
 forwards inode-level work to the mounted file system.
+
+Data syscalls build one :class:`repro.io.IORequest` each -- vectored
+variants (``readv``/``writev``/``pwritev``/``preadv``) put the whole
+iovec list in a single request, so the fs below sees one operation, one
+syscall-overhead charge, and (for HiNFS) one eager/lazy decision.
 """
 
 from contextlib import contextmanager
 
 from repro.fs import flags as f
 from repro.fs.base import ROOT_INO
+from repro.io import OP_READ, OP_WRITE, IORequest
 from repro.fs.errors import (
     BadFileDescriptor,
     ExistsError,
@@ -126,6 +132,7 @@ class VFS:
 
     def _syscall_entry(self, ctx):
         ctx.charge(self.config.syscall_ns + self.config.vfs_op_ns)
+        self.env.stats.bump("vfs_syscall_entries")
 
     def _file(self, fd):
         try:
@@ -317,6 +324,58 @@ class VFS:
             return False
 
     # -- data syscalls ------------------------------------------------------
+    #
+    # Every variant funnels into _preadv/_pwritev, which build ONE
+    # IORequest per syscall and submit it to the fs under the request's
+    # trace span.  ``name`` keeps the per-syscall breakdown buckets
+    # (read/write vs readv/writev/...) distinct.
+
+    def _preadv(self, ctx, fd, offset, sizes, name="readv"):
+        """Scatter-read ``sizes`` bytes from ``offset`` as one request;
+        returns the list of per-iovec buffers (short at EOF)."""
+        file = self._file(fd)
+        if not f.readable(file.flags):
+            raise ReadOnly("fd %d not open for reading" % fd)
+        if offset < 0 or any(count < 0 for count in sizes):
+            raise InvalidArgument("negative offset/count")
+        req = IORequest(
+            self.env.next_req_id(), OP_READ, file.ino, sizes, offset,
+            flags=file.flags, syscall=name,
+        )
+        with ctx.syscall(name, req=req):
+            self._syscall_entry(ctx)
+            with self._media_guard(), ctx.layer("fs"):
+                data = self.fs.submit(ctx, req)
+            self.env.stats.ops_completed += 1
+            return req.scatter(data)
+
+    def _pwritev(self, ctx, fd, offset, iovecs, name="writev"):
+        """Gather-write ``iovecs`` at ``offset`` as one request; returns
+        the number of bytes written."""
+        file = self._file(fd)
+        if not f.writable(file.flags):
+            raise ReadOnly("fd %d not open for writing" % fd)
+        if offset < 0:
+            raise InvalidArgument("negative offset")
+        self._check_writable("write to %r" % file.path)
+        eager = self.sync_mount or bool(file.flags & f.O_SYNC)
+        req = IORequest(
+            self.env.next_req_id(), OP_WRITE, file.ino, iovecs, offset,
+            flags=file.flags, eager=eager, syscall=name,
+        )
+        with ctx.syscall(name, req=req):
+            self._syscall_entry(ctx)
+            with self._media_guard(), ctx.layer("fs"):
+                written = self.fs.submit(ctx, req)
+            self.env.stats.ops_completed += 1
+            self.env.stats.bump("app_bytes_written", written)
+            if eager:
+                self.env.stats.bump("app_bytes_fsynced", written)
+            else:
+                self._unsynced_bytes[file.ino] = (
+                    self._unsynced_bytes.get(file.ino, 0) + written
+                )
+            return written
 
     def read(self, ctx, fd, count):
         """read(2) at the descriptor's position."""
@@ -326,17 +385,19 @@ class VFS:
         return data
 
     def pread(self, ctx, fd, offset, count):
-        with ctx.syscall("read"):
-            self._syscall_entry(ctx)
-            file = self._file(fd)
-            if not f.readable(file.flags):
-                raise ReadOnly("fd %d not open for reading" % fd)
-            if offset < 0 or count < 0:
-                raise InvalidArgument("negative offset/count")
-            with self._media_guard():
-                data = self.fs.read(ctx, file.ino, offset, count)
-            self.env.stats.ops_completed += 1
-            return data
+        """pread(2): positioned single-buffer read."""
+        return self._preadv(ctx, fd, offset, [count], name="read")[0]
+
+    def readv(self, ctx, fd, sizes):
+        """readv(2): scatter-read at the descriptor's position."""
+        file = self._file(fd)
+        bufs = self._preadv(ctx, fd, file.pos, list(sizes))
+        file.pos += sum(len(buf) for buf in bufs)
+        return bufs
+
+    def preadv(self, ctx, fd, offset, sizes):
+        """preadv(2): positioned scatter read."""
+        return self._preadv(ctx, fd, offset, list(sizes), name="preadv")
 
     def write(self, ctx, fd, data):
         """write(2) at the descriptor's position (honours O_APPEND)."""
@@ -348,34 +409,31 @@ class VFS:
         return written
 
     def pwrite(self, ctx, fd, offset, data):
-        with ctx.syscall("write"):
-            self._syscall_entry(ctx)
-            file = self._file(fd)
-            if not f.writable(file.flags):
-                raise ReadOnly("fd %d not open for writing" % fd)
-            if offset < 0:
-                raise InvalidArgument("negative offset")
-            self._check_writable("write to %r" % file.path)
-            eager = self.sync_mount or bool(file.flags & f.O_SYNC)
-            with self._media_guard():
-                written = self.fs.write(
-                    ctx, file.ino, offset, bytes(data), eager=eager
-                )
-            self.env.stats.ops_completed += 1
-            self.env.stats.bump("app_bytes_written", written)
-            if eager:
-                self.env.stats.bump("app_bytes_fsynced", written)
-            else:
-                self._unsynced_bytes[file.ino] = (
-                    self._unsynced_bytes.get(file.ino, 0) + written
-                )
-            return written
+        """pwrite(2): positioned single-buffer write."""
+        return self._pwritev(ctx, fd, offset, [bytes(data)], name="write")
+
+    def writev(self, ctx, fd, iovecs):
+        """writev(2) at the descriptor's position (honours O_APPEND).
+
+        The whole iovec list is ONE request: one syscall-overhead
+        charge, one fs submission, one eager/lazy decision below.
+        """
+        file = self._file(fd)
+        if file.flags & f.O_APPEND:
+            file.pos = self.fs.getattr(ctx, file.ino).size
+        written = self._pwritev(ctx, fd, file.pos, list(iovecs))
+        file.pos += written
+        return written
+
+    def pwritev(self, ctx, fd, offset, iovecs):
+        """pwritev(2): positioned gather write."""
+        return self._pwritev(ctx, fd, offset, list(iovecs), name="pwritev")
 
     def fsync(self, ctx, fd):
         with ctx.syscall("fsync"):
             self._syscall_entry(ctx)
             file = self._file(fd)
-            with self._media_guard():
+            with self._media_guard(), ctx.layer("fs"):
                 self.fs.fsync(ctx, file.ino)
             self.env.stats.ops_completed += 1
             self.env.stats.bump(
@@ -392,12 +450,37 @@ class VFS:
             self._check_writable("truncate of %r" % path)
             parts = [p for p in path.split("/") if p]
             ino = self._walk(ctx, parts)
-            with self._media_guard():
+            with self._media_guard(), ctx.layer("fs"):
                 self.fs.truncate(ctx, ino, new_size)
             self.env.stats.ops_completed += 1
 
-    def lseek(self, ctx, fd, pos):
-        self._file(fd).pos = int(pos)
+    def lseek(self, ctx, fd, pos, whence=f.SEEK_SET):
+        """lseek(2): reposition the descriptor; returns the new offset.
+
+        Seeking past EOF is allowed (a later write leaves a hole that
+        reads back as zeros); a resulting negative offset is EINVAL.
+        """
+        file = self._file(fd)
+        if whence == f.SEEK_SET:
+            new_pos = int(pos)
+        elif whence == f.SEEK_CUR:
+            new_pos = file.pos + int(pos)
+        elif whence == f.SEEK_END:
+            new_pos = self.fs.getattr(ctx, file.ino).size + int(pos)
+        else:
+            raise InvalidArgument("unknown whence %r" % (whence,))
+        if new_pos < 0:
+            raise InvalidArgument("lseek to negative offset %d" % new_pos)
+        file.pos = new_pos
+        return new_pos
+
+    def fstat(self, ctx, fd):
+        """fstat(2): attributes of an open descriptor."""
+        with ctx.syscall("fstat"):
+            self._syscall_entry(ctx)
+            file = self._file(fd)
+            self.env.stats.ops_completed += 1
+            return self.fs.getattr(ctx, file.ino)
 
     # -- memory-mapped I/O ----------------------------------------------------
 
@@ -425,22 +508,33 @@ class VFS:
     # -- whole-file helpers (workload convenience, still charged) ---------
 
     def read_file(self, ctx, path, chunk=1 << 20):
-        """Open, read fully in ``chunk`` pieces, close; returns the bytes."""
+        """Open, read fully, close; returns the bytes.
+
+        The whole file is ONE scatter-read request sized from fstat
+        (``chunk``-grained iovecs), not a loop of N accounted reads.
+        """
         fd = self.open(ctx, path, f.O_RDONLY)
-        out = bytearray()
-        while True:
-            piece = self.read(ctx, fd, chunk)
-            if not piece:
-                break
-            out.extend(piece)
+        size = self.fstat(ctx, fd).size
+        if size == 0:
+            self.close(ctx, fd)
+            return b""
+        sizes = [min(chunk, size - start) for start in range(0, size, chunk)]
+        bufs = self._preadv(ctx, fd, 0, sizes, name="read")
         self.close(ctx, fd)
-        return bytes(out)
+        return b"".join(bufs)
 
     def write_file(self, ctx, path, data, chunk=1 << 20, sync=False):
-        """Create/overwrite ``path`` with ``data`` in ``chunk`` pieces."""
+        """Create/overwrite ``path`` with ``data``.
+
+        The payload goes down as ONE gather-write request with
+        ``chunk``-sized iovecs, not a loop of N accounted writes.
+        """
         fd = self.open(ctx, path, f.O_RDWR | f.O_CREAT | f.O_TRUNC)
-        for start in range(0, len(data), chunk):
-            self.write(ctx, fd, data[start : start + chunk])
+        data = bytes(data)
+        if data:
+            iovecs = [data[start : start + chunk]
+                      for start in range(0, len(data), chunk)]
+            self._pwritev(ctx, fd, 0, iovecs, name="write")
         if sync:
             self.fsync(ctx, fd)
         self.close(ctx, fd)

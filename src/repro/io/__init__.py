@@ -1,0 +1,11 @@
+"""The unified I/O request pipeline.
+
+Every data-path syscall is materialised as one :class:`IORequest` at the
+VFS boundary and travels through the layers (VFS -> file system ->
+buffer/writeback -> NVMM) as a single object, kiocb-style, instead of a
+positional ``(ino, offset, data, eager)`` tuple.
+"""
+
+from repro.io.request import OP_READ, OP_WRITE, IORequest
+
+__all__ = ["IORequest", "OP_READ", "OP_WRITE"]

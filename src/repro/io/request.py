@@ -1,0 +1,109 @@
+"""kiocb-style I/O request objects built at the VFS syscall boundary.
+
+An :class:`IORequest` carries everything a data-path operation needs
+across layer boundaries: the operation kind, the target inode, an iovec
+list, the file offset, the originating open-flags, the sync policy
+(eager vs. lazy persistence), and -- when tracing is enabled -- the
+request's trace span.  File systems consume requests through
+:meth:`repro.fs.base.FileSystem.submit` instead of positional
+arguments, which is what lets the VFS expose vectored I/O
+(``readv``/``writev``/``pwritev``) with one syscall-overhead charge and
+one persistence decision per request rather than per fragment.
+
+Iovec conventions (matching ``struct iovec`` semantics):
+
+- **writes**: each iovec is a bytes-like fragment; fragments are
+  gathered into one contiguous file range starting at ``offset``.
+- **reads**: each iovec is an integer byte count; the file range
+  starting at ``offset`` is scattered back into per-iovec buffers.
+"""
+
+OP_READ = "read"
+OP_WRITE = "write"
+
+
+class IORequest:
+    """One in-flight data-path operation crossing the layer stack."""
+
+    __slots__ = ("req_id", "op", "ino", "iovecs", "offset", "flags",
+                 "eager", "syscall", "span")
+
+    def __init__(self, req_id, op, ino, iovecs, offset, flags=0,
+                 eager=False, syscall=None):
+        if op not in (OP_READ, OP_WRITE):
+            raise ValueError("unknown request op %r" % (op,))
+        self.req_id = req_id
+        self.op = op
+        self.ino = ino
+        if op == OP_WRITE:
+            self.iovecs = [bytes(vec) for vec in iovecs]
+        else:
+            self.iovecs = [int(count) for count in iovecs]
+        self.offset = offset
+        self.flags = flags
+        #: Synchronous-persistence policy (O_SYNC / ``mount -o sync``):
+        #: the whole request is durable when ``submit`` returns.
+        self.eager = eager
+        #: Syscall name this request was built for (``write``/``writev``
+        #: /...); feeds the per-syscall breakdown and the trace span.
+        self.syscall = syscall or op
+        #: The request's trace span while tracing is enabled, else None.
+        self.span = None
+
+    # -- geometry ---------------------------------------------------------
+
+    @property
+    def total_bytes(self):
+        """Bytes this request covers (sum over the iovec list)."""
+        if self.op == OP_WRITE:
+            return sum(len(vec) for vec in self.iovecs)
+        return sum(self.iovecs)
+
+    @property
+    def end_offset(self):
+        return self.offset + self.total_bytes
+
+    def coalesce(self):
+        """The write payload as ONE contiguous buffer.
+
+        Since a gather write's fragments land back to back in the file,
+        joining them is semantically lossless; it is what lets HiNFS run
+        a single DRAM-buffer operation per 4 KiB block and a single
+        eager/lazy decision per request instead of per fragment.
+        Single-fragment requests return the fragment itself (no copy).
+        """
+        if self.op != OP_WRITE:
+            raise ValueError("coalesce() is only defined for writes")
+        if len(self.iovecs) == 1:
+            return self.iovecs[0]
+        return b"".join(self.iovecs)
+
+    def fragments(self):
+        """Yield ``(file_offset, data)`` per write iovec, in file order."""
+        if self.op != OP_WRITE:
+            raise ValueError("fragments() is only defined for writes")
+        pos = self.offset
+        for vec in self.iovecs:
+            yield pos, vec
+            pos += len(vec)
+
+    def scatter(self, data):
+        """Split a flat read result back into per-iovec buffers.
+
+        Mirrors ``readv``: earlier iovecs fill completely before later
+        ones see any bytes; a short read (EOF) leaves the tail empty.
+        """
+        if self.op != OP_READ:
+            raise ValueError("scatter() is only defined for reads")
+        out = []
+        pos = 0
+        for count in self.iovecs:
+            out.append(data[pos:pos + count])
+            pos += count
+        return out
+
+    def __repr__(self):
+        return "IORequest(#%d %s ino=%s off=%d len=%d iovecs=%d%s)" % (
+            self.req_id, self.op, self.ino, self.offset, self.total_bytes,
+            len(self.iovecs), " eager" if self.eager else "",
+        )

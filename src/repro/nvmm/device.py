@@ -12,6 +12,7 @@ from repro.fs.errors import MediaError
 from repro.mem.cpucache import CachedPersistentRegion
 from repro.mem.region import MemoryRegion
 from repro.nvmm.config import CACHELINE_SIZE, lines_spanned
+from repro.obs.trace import LAYER_NVMM
 
 NVMM_WRITE_RESOURCE = "nvmm_write_slots"
 
@@ -110,10 +111,15 @@ class NVMMDevice:
 
     def read(self, ctx, addr, length, category=CAT_READ_ACCESS):
         """Load bytes; NVMM reads cost the same as DRAM reads."""
+        # getattr: recovery/mkfs contexts (_FreeContext) carry no span.
+        span = getattr(ctx, "trace_span", None)
+        start = ctx.now if span is not None else 0
         ctx.charge(self.config.load_cost_ns(length), category)
         self._guard_read(addr, length)
         data = self.mem.read(addr, length)
         self.env.stats.bytes_read_nvmm += length
+        if span is not None:
+            span.add_phase(LAYER_NVMM, start, ctx.now)
         return data
 
     def read_media(self, addr, length):
@@ -139,12 +145,16 @@ class NVMMDevice:
     def write_persistent(self, ctx, addr, data, category=CAT_WRITE_ACCESS):
         """Non-temporal store: durable on return, pays full NVMM cost."""
         data = bytes(data)
+        span = getattr(ctx, "trace_span", None)
+        start = ctx.now if span is not None else 0
         self._guard_persist(ctx, addr, len(data))
         self.mem.write_nocache(addr, data)
         nlines = lines_spanned(len(data), addr % CACHELINE_SIZE)
         self._persist_lines(ctx, nlines, category)
         if not getattr(ctx, "free", False):
             self.env.stats.bytes_written_nvmm += len(data)
+        if span is not None:
+            span.add_phase(LAYER_NVMM, start, ctx.now)
 
     def write_persistent_async(self, ctx, addr, data, category=CAT_WRITE_ACCESS):
         """Book a persistent store without waiting for it.
@@ -177,11 +187,15 @@ class NVMMDevice:
 
     def clflush(self, ctx, addr, length, category=CAT_WRITE_ACCESS):
         """Flush the lines covering the range; pays NVMM cost per dirty line."""
+        span = getattr(ctx, "trace_span", None)
+        start = ctx.now if span is not None else 0
         self._guard_persist(ctx, addr, length)
         flushed = self.mem.clflush(addr, length)
         self._persist_lines(ctx, flushed, category)
         if not getattr(ctx, "free", False):
             self.env.stats.bytes_written_nvmm += flushed * CACHELINE_SIZE
+        if span is not None:
+            span.add_phase(LAYER_NVMM, start, ctx.now)
         return flushed
 
     def fence(self, ctx, category=CAT_OTHERS):

@@ -1,0 +1,5 @@
+"""Observability: the cross-layer trace spine."""
+
+from repro.obs.trace import Span, TraceRing, chrome_trace, dump_chrome_trace
+
+__all__ = ["Span", "TraceRing", "chrome_trace", "dump_chrome_trace"]

@@ -42,6 +42,25 @@ def test_cli_runs_smallest_experiment():
     assert "tpcc" in out
 
 
+def test_cli_trace_exports_chrome_json(tmp_path):
+    import json
+
+    out_file = str(tmp_path / "trace.json")
+    code, out = run_cli(["trace", "--fs", "hinfs",
+                         "--workload", "fileserver", "-o", out_file])
+    assert code == 0
+    assert "MISMATCH" not in out  # per-layer sums equal the stats totals
+    with open(out_file) as fileobj:
+        doc = json.load(fileobj)
+    events = doc["traceEvents"]
+    assert events
+    assert {e["ph"] for e in events} <= {"X", "M"}
+    for event in events:
+        if event["ph"] == "X":
+            assert event["cat"] in ("vfs", "fs", "writeback", "nvmm")
+            assert event["args"]["dur_ns"] >= 0
+
+
 def test_tracetool_synth_stats_roundtrip(tmp_path):
     trace_file = str(tmp_path / "t.trace")
     assert tracetool.main(["synth", "lasr", "-o", trace_file,

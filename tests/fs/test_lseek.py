@@ -1,0 +1,58 @@
+"""lseek(2) whence semantics on the VFS layer."""
+
+import pytest
+
+from repro.fs import flags as f
+from repro.fs.errors import InvalidArgument
+
+
+@pytest.fixture()
+def fd(rig):
+    fd = rig.vfs.open(rig.ctx, "/seek", f.O_CREAT | f.O_RDWR)
+    rig.vfs.write(rig.ctx, fd, b"0123456789")
+    return fd
+
+
+def test_seek_set(rig, fd):
+    assert rig.vfs.lseek(rig.ctx, fd, 4) == 4
+    assert rig.vfs.read(rig.ctx, fd, 3) == b"456"
+    assert rig.vfs.lseek(rig.ctx, fd, 0, f.SEEK_SET) == 0
+    assert rig.vfs.read(rig.ctx, fd, 2) == b"01"
+
+
+def test_seek_cur(rig, fd):
+    rig.vfs.lseek(rig.ctx, fd, 2, f.SEEK_SET)
+    assert rig.vfs.lseek(rig.ctx, fd, 3, f.SEEK_CUR) == 5
+    assert rig.vfs.lseek(rig.ctx, fd, -4, f.SEEK_CUR) == 1
+    assert rig.vfs.read(rig.ctx, fd, 2) == b"12"
+
+
+def test_seek_end(rig, fd):
+    assert rig.vfs.lseek(rig.ctx, fd, 0, f.SEEK_END) == 10
+    assert rig.vfs.lseek(rig.ctx, fd, -3, f.SEEK_END) == 7
+    assert rig.vfs.read(rig.ctx, fd, 10) == b"789"
+
+
+def test_seek_negative_is_einval(rig, fd):
+    for whence, pos in [(f.SEEK_SET, -1), (f.SEEK_CUR, -100),
+                        (f.SEEK_END, -11)]:
+        with pytest.raises(InvalidArgument):
+            rig.vfs.lseek(rig.ctx, fd, pos, whence)
+    with pytest.raises(InvalidArgument):
+        rig.vfs.lseek(rig.ctx, fd, 0, whence=17)
+    # Failed seeks leave the position untouched (fixture wrote 10 bytes).
+    assert rig.vfs.lseek(rig.ctx, fd, 0, f.SEEK_CUR) == 10
+
+
+def test_seek_past_eof_then_write_leaves_hole(rig, fd):
+    """Seeking beyond EOF is legal; a later write leaves a hole that
+    reads back as zeros."""
+    assert rig.vfs.lseek(rig.ctx, fd, 4096, f.SEEK_END) == 10 + 4096
+    rig.vfs.write(rig.ctx, fd, b"tail")
+    assert rig.vfs.stat(rig.ctx, "/seek").size == 10 + 4096 + 4
+    rig.vfs.lseek(rig.ctx, fd, 0)
+    head = rig.vfs.read(rig.ctx, fd, 10)
+    hole = rig.vfs.read(rig.ctx, fd, 4096)
+    assert head == b"0123456789"
+    assert hole == b"\0" * 4096
+    assert rig.vfs.read(rig.ctx, fd, 100) == b"tail"

@@ -1,0 +1,85 @@
+"""O_APPEND / O_TRUNC interactions and truncate-extend zero-fill.
+
+Parametrized across the paper's five comparison file systems: the flag
+semantics live at the VFS boundary and must be identical no matter
+which data path sits below.
+"""
+
+import pytest
+
+from repro.bench.runner import build_stack
+from repro.engine.context import ExecContext
+from repro.engine.env import SimEnv
+from repro.fs import flags as f
+from repro.nvmm.config import NVMMConfig
+
+FIVE_FS = ("hinfs", "pmfs", "ext4-dax", "ext2-nvmmbd", "ext4-nvmmbd")
+
+
+@pytest.fixture(params=FIVE_FS)
+def stack(request):
+    env = SimEnv()
+    fs, vfs = build_stack(env, request.param, NVMMConfig(), 48 << 20)
+    return vfs, ExecContext(env, "t")
+
+
+def test_o_append_writes_land_at_eof(stack):
+    vfs, ctx = stack
+    vfs.write_file(ctx, "/log", b"start|")
+    fd = vfs.open(ctx, "/log", f.O_WRONLY | f.O_APPEND)
+    vfs.write(ctx, fd, b"one|")
+    # A concurrent-style extension through another descriptor: O_APPEND
+    # must re-seek to the *current* EOF on every write.
+    other = vfs.open(ctx, "/log", f.O_RDWR)
+    vfs.pwrite(ctx, other, vfs.fstat(ctx, other).size, b"two|")
+    vfs.write(ctx, fd, b"three|")
+    assert vfs.read_file(ctx, "/log") == b"start|one|two|three|"
+
+
+def test_o_trunc_discards_existing_contents(stack):
+    vfs, ctx = stack
+    vfs.write_file(ctx, "/f", b"x" * 9000)
+    fd = vfs.open(ctx, "/f", f.O_RDWR | f.O_TRUNC)
+    assert vfs.fstat(ctx, fd).size == 0
+    vfs.write(ctx, fd, b"new")
+    assert vfs.read_file(ctx, "/f") == b"new"
+
+
+def test_o_trunc_readonly_open_does_not_truncate(stack):
+    vfs, ctx = stack
+    vfs.write_file(ctx, "/keep", b"precious")
+    fd = vfs.open(ctx, "/keep", f.O_RDONLY | f.O_TRUNC)
+    assert vfs.fstat(ctx, fd).size == 8
+    assert vfs.read(ctx, fd, 100) == b"precious"
+
+
+def test_o_append_plus_o_trunc_truncates_then_appends(stack):
+    vfs, ctx = stack
+    vfs.write_file(ctx, "/both", b"y" * 5000)
+    fd = vfs.open(ctx, "/both", f.O_RDWR | f.O_TRUNC | f.O_APPEND)
+    assert vfs.fstat(ctx, fd).size == 0
+    vfs.write(ctx, fd, b"a")
+    vfs.pwrite(ctx, fd, 100, b"b")  # pwrite ignores O_APPEND
+    vfs.write(ctx, fd, b"c")  # ...but write() appends at the new EOF
+    assert vfs.fstat(ctx, fd).size == 102
+    data = vfs.read_file(ctx, "/both")
+    assert data[0:1] == b"a" and data[100:102] == b"bc"
+    assert data[1:100] == b"\0" * 99
+
+
+def test_truncate_extend_zero_fills(stack):
+    vfs, ctx = stack
+    vfs.write_file(ctx, "/grow", b"seed")
+    vfs.truncate(ctx, "/grow", 10_000)
+    assert vfs.stat(ctx, "/grow").size == 10_000
+    data = vfs.read_file(ctx, "/grow")
+    assert data[:4] == b"seed"
+    assert data[4:] == b"\0" * 9996
+    # Shrink then re-extend: the stale tail must not resurface.
+    fd = vfs.open(ctx, "/grow", f.O_RDWR)
+    vfs.pwrite(ctx, fd, 8000, b"Z" * 100)
+    vfs.truncate(ctx, "/grow", 2)
+    vfs.truncate(ctx, "/grow", 9000)
+    data = vfs.read_file(ctx, "/grow")
+    assert data[:2] == b"se"
+    assert data[2:] == b"\0" * 8998

@@ -1,0 +1,113 @@
+"""Vectored I/O through the unified request pipeline.
+
+The contract under test: the whole iovec list of a readv/writev/
+pwritev/preadv call travels as ONE :class:`repro.io.IORequest` -- one
+syscall-overhead charge at the VFS boundary and, on HiNFS, one
+eager/lazy benefit decision, regardless of how many iovecs it carries.
+"""
+
+import pytest
+
+from repro.core import HiNFS, HiNFSConfig
+from repro.fs import flags as f
+
+from tests.fs.conftest import PmfsRig
+
+
+def hinfs_rig():
+    return PmfsRig(size=32 << 20, fs_cls=HiNFS,
+                   hconfig=HiNFSConfig(buffer_bytes=2 << 20))
+
+
+@pytest.fixture()
+def rig():
+    return hinfs_rig()
+
+
+def test_writev_contiguous_iovecs_is_one_request(rig):
+    """Acceptance: 8 contiguous 4 KiB iovecs -> exactly one syscall
+    charge and one eager/lazy decision."""
+    fd = rig.vfs.open(rig.ctx, "/v", f.O_CREAT | f.O_RDWR)
+    iovecs = [bytes([i]) * 4096 for i in range(8)]
+    entries_before = rig.env.stats.count("vfs_syscall_entries")
+    decisions_before = rig.env.stats.count("hinfs_benefit_decisions")
+    written = rig.vfs.writev(rig.ctx, fd, iovecs)
+    assert written == 8 * 4096
+    assert rig.env.stats.count("vfs_syscall_entries") - entries_before == 1
+    assert (rig.env.stats.count("hinfs_benefit_decisions")
+            - decisions_before) == 1
+    assert rig.env.stats.syscall_counts.get("writev") == 1
+    assert rig.vfs.pread(rig.ctx, fd, 0, 8 * 4096) == b"".join(iovecs)
+
+
+def test_equivalent_pwrites_decide_per_call(rig):
+    """Counter-contrast: the same 8 blocks as 8 pwrite calls cost 8
+    syscall charges and 8 decisions."""
+    fd = rig.vfs.open(rig.ctx, "/w", f.O_CREAT | f.O_RDWR)
+    entries_before = rig.env.stats.count("vfs_syscall_entries")
+    decisions_before = rig.env.stats.count("hinfs_benefit_decisions")
+    for i in range(8):
+        rig.vfs.pwrite(rig.ctx, fd, i * 4096, bytes([i]) * 4096)
+    assert rig.env.stats.count("vfs_syscall_entries") - entries_before == 8
+    assert (rig.env.stats.count("hinfs_benefit_decisions")
+            - decisions_before) == 8
+
+
+def test_readv_scatters_and_advances_position(rig):
+    fd = rig.vfs.open(rig.ctx, "/r", f.O_CREAT | f.O_RDWR)
+    rig.vfs.pwrite(rig.ctx, fd, 0, b"abcdefghij")
+    rig.vfs.lseek(rig.ctx, fd, 0)
+    entries_before = rig.env.stats.count("vfs_syscall_entries")
+    assert rig.vfs.readv(rig.ctx, fd, [3, 4]) == [b"abc", b"defg"]
+    assert rig.env.stats.count("vfs_syscall_entries") - entries_before == 1
+    # Position advanced past both iovecs; a short tail read stops at EOF.
+    assert rig.vfs.readv(rig.ctx, fd, [5, 5]) == [b"hij", b""]
+
+
+def test_preadv_pwritev_positioned_roundtrip(rig):
+    fd = rig.vfs.open(rig.ctx, "/p", f.O_CREAT | f.O_RDWR)
+    assert rig.vfs.pwritev(rig.ctx, fd, 100, [b"one", b"two", b"three"]) == 11
+    assert rig.vfs.preadv(rig.ctx, fd, 100, [3, 3, 5, 10]) == [
+        b"one", b"two", b"three", b"",
+    ]
+    assert rig.env.stats.syscall_counts.get("pwritev") == 1
+    assert rig.env.stats.syscall_counts.get("preadv") == 1
+
+
+def test_writev_honours_o_append(rig):
+    rig.vfs.write_file(rig.ctx, "/log", b"head:")
+    fd = rig.vfs.open(rig.ctx, "/log", f.O_WRONLY | f.O_APPEND)
+    rig.vfs.writev(rig.ctx, fd, [b"aa", b"bb"])
+    assert rig.vfs.read_file(rig.ctx, "/log") == b"head:aabb"
+
+
+def test_vectored_validation(rig):
+    from repro.fs.errors import InvalidArgument, ReadOnly
+
+    fd = rig.vfs.open(rig.ctx, "/bad", f.O_CREAT | f.O_RDWR)
+    with pytest.raises(InvalidArgument):
+        rig.vfs.pwritev(rig.ctx, fd, -1, [b"x"])
+    with pytest.raises(InvalidArgument):
+        rig.vfs.preadv(rig.ctx, fd, 0, [4, -1])
+    ro = rig.vfs.open(rig.ctx, "/bad", f.O_RDONLY)
+    with pytest.raises(ReadOnly):
+        rig.vfs.writev(rig.ctx, ro, [b"x"])
+    wo = rig.vfs.open(rig.ctx, "/bad", f.O_WRONLY)
+    with pytest.raises(ReadOnly):
+        rig.vfs.readv(rig.ctx, wo, [4])
+
+
+def test_whole_file_helpers_are_single_requests(rig):
+    """read_file/write_file submit one vectored request, not N."""
+    payload = bytes(i % 251 for i in range(3 << 20))  # 3 chunks at 1 MiB
+    rig.vfs.write_file(rig.ctx, "/blob", payload)
+    assert rig.env.stats.syscall_counts.get("write") == 1
+    assert rig.vfs.read_file(rig.ctx, "/blob") == payload
+    assert rig.env.stats.syscall_counts.get("read") == 1
+
+
+def test_vectored_works_on_pmfs_too():
+    rig = PmfsRig(size=32 << 20)
+    fd = rig.vfs.open(rig.ctx, "/v", f.O_CREAT | f.O_RDWR)
+    rig.vfs.pwritev(rig.ctx, fd, 0, [b"12", b"34", b"56"])
+    assert rig.vfs.preadv(rig.ctx, fd, 0, [4, 4]) == [b"1234", b"56"]

@@ -1,0 +1,130 @@
+"""The trace spine: spans, the bounded ring, and Chrome export."""
+
+import io
+import json
+
+from repro.engine.context import ExecContext
+from repro.engine.env import SimEnv
+from repro.obs.trace import (
+    LAYER_FS,
+    LAYER_NVMM,
+    LAYER_VFS,
+    Span,
+    TraceRing,
+    chrome_trace,
+    chrome_trace_events,
+    dump_chrome_trace,
+    layer_duration_sums,
+)
+
+
+def test_span_layer_totals_include_own_layer_and_phases():
+    span = Span(1, "write", "t0", 100, layer=LAYER_VFS)
+    span.add_phase(LAYER_FS, 110, 160)
+    span.add_phase(LAYER_NVMM, 120, 150)
+    span.add_phase(LAYER_FS, 170, 180)
+    span.close(300)
+    assert span.duration_ns == 200
+    assert span.layer_totals() == {
+        LAYER_VFS: 200, LAYER_FS: 60, LAYER_NVMM: 30,
+    }
+
+
+def test_ring_is_bounded_and_counts_evictions():
+    ring = TraceRing(capacity=4)
+    for i in range(10):
+        span = ring.begin("op", "t0", i, i)
+        span.close(i + 1)
+        ring.record(span)
+    assert len(ring) == 4
+    assert ring.recorded == 10
+    assert ring.dropped == 6
+    assert [s.req_id for s in ring.spans()] == [6, 7, 8, 9]
+
+
+def test_chrome_events_cover_spans_phases_and_thread_names():
+    span = Span(5, "writev", "fg-0", 1000, layer=LAYER_VFS,
+                meta={"iovecs": 8})
+    span.add_phase(LAYER_FS, 1100, 1400)
+    span.close(2000)
+    events = chrome_trace_events([span])
+    complete = [e for e in events if e["ph"] == "X"]
+    meta_events = [e for e in events if e["ph"] == "M"]
+    assert len(complete) == 2
+    top = next(e for e in complete if e["cat"] == LAYER_VFS)
+    assert top["name"] == "writev"
+    assert top["ts"] == 1.0 and top["dur"] == 1.0  # microseconds
+    assert top["args"]["req_id"] == 5
+    assert top["args"]["dur_ns"] == 1000
+    assert top["args"]["iovecs"] == 8
+    phase = next(e for e in complete if e["cat"] == LAYER_FS)
+    assert phase["args"]["dur_ns"] == 300
+    assert meta_events[0]["args"]["name"] == "fg-0"
+    assert layer_duration_sums(events) == {LAYER_VFS: 1000, LAYER_FS: 300}
+
+
+def test_dump_chrome_trace_is_valid_json():
+    span = Span(1, "read", "t", 0)
+    span.close(10)
+    out = io.StringIO()
+    dump_chrome_trace([span], out)
+    doc = json.loads(out.getvalue())
+    assert doc["traceEvents"]
+    assert doc == chrome_trace([span])
+
+
+def test_context_span_feeds_stats_and_ring_identically():
+    """The single-instrumentation-point contract: closing a span feeds
+    syscall_time_ns, layer_time_ns, and the ring from one measurement."""
+    env = SimEnv()
+    ring = env.enable_tracing(capacity=16)
+    ctx = ExecContext(env, "t0")
+    with ctx.span("write"):
+        ctx.charge(500)
+        with ctx.layer(LAYER_FS):
+            ctx.charge(200)
+    assert env.stats.syscall_time_ns["write"] == 700
+    assert env.stats.layer_time_ns == {LAYER_VFS: 700, LAYER_FS: 200}
+    spans = ring.spans()
+    assert len(spans) == 1
+    exported = layer_duration_sums(chrome_trace_events(spans))
+    assert exported == dict(env.stats.layer_time_ns)
+
+
+def test_traced_run_layer_sums_match_stats_end_to_end():
+    """Acceptance: a traced workload's exported per-layer durations sum
+    exactly to the run's SimStats totals."""
+    from repro.bench.runner import run_workload
+    from repro.workloads.filebench import Fileserver
+
+    workload = Fileserver(threads=2, files_per_thread=5, duration_ops=40)
+    result = run_workload("hinfs", workload, device_size=64 << 20,
+                          trace_capacity=1 << 16)
+    ring = result.trace
+    assert ring is not None and ring.recorded > 0 and ring.dropped == 0
+    doc = chrome_trace(ring.spans())
+    json.loads(json.dumps(doc))  # exported object is valid JSON
+    sums = layer_duration_sums(doc["traceEvents"])
+    assert sums == dict(result.stats.layer_time_ns)
+    assert sums[LAYER_VFS] == sum(result.stats.syscall_time_ns.values())
+    assert sums.get("fs", 0) > 0
+
+
+def test_untraced_run_has_no_ring_and_no_layer_times():
+    from repro.bench.runner import run_workload
+    from repro.workloads.filebench import Fileserver
+
+    workload = Fileserver(threads=1, files_per_thread=5, duration_ops=10)
+    result = run_workload("hinfs", workload, device_size=64 << 20)
+    assert result.trace is None
+    assert dict(result.stats.layer_time_ns) == {}
+
+
+def test_untraced_spans_still_record_syscall_time():
+    env = SimEnv()  # tracing off
+    ctx = ExecContext(env, "t0")
+    with ctx.span("read") as sp:
+        ctx.charge(123)
+    assert sp is None
+    assert env.stats.syscall_time_ns["read"] == 123
+    assert dict(env.stats.layer_time_ns) == {}
