@@ -13,6 +13,7 @@ from repro.bench.experiments import (
     fig11_latency,
     fig12_traces,
     fig13_macro,
+    scale_threads,
 )
 
 EXPERIMENTS = {
@@ -26,9 +27,11 @@ EXPERIMENTS = {
     "fig11": fig11_latency,
     "fig12": fig12_traces,
     "fig13": fig13_macro,
-    # Extensions: ablations of design choices the paper fixes or defers.
+    # Extensions: ablations of design choices the paper fixes or defers,
+    # and the concurrency layer's thread-scalability sweep.
     "abl-policy": ablation_policies,
     "abl-watermark": ablation_watermarks,
+    "scale": scale_threads,
 }
 
 

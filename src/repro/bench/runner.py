@@ -126,6 +126,7 @@ def run_workload(fs_name, workload, config=None, device_size=96 << 20,
     workload.prepare(vfs, pctx)
     fs.unmount(pctx)  # settle the fileset, like the paper's fresh mount
     fs.drop_caches()  # and clear the OS page cache before measuring
+    env.quiesce()  # idle device + background timelines at t=0
     vfs.reset_accounting()
     env.stats = SimStats()  # measurement starts now
     if trace_capacity:

@@ -9,6 +9,12 @@ from the paper live here:
   corresponding NVMM block number (Figure 5);
 - the **Cacheline Bitmap** on every buffered block (Section 3.2.1);
 - the global **LRW list** ordering blocks by last written time.
+
+The index is sharded by ``ino % buffer_shards``: each shard owns the
+B-trees of its inodes plus an insertion-ordered dirty list, so parallel
+writeback workers scan and flush their shards without touching a global
+structure.  Victim *ordering* stays global (one policy instance) --
+sharding distributes the work, not the replacement decision.
 """
 
 from repro.core.bitmap import CachelineBitmap
@@ -47,8 +53,11 @@ class BufferBlock(LRWNode):
         #: lets fault injection target one in-flight request's writeback.
         self.last_req_id = None
         #: Open journal transactions whose commit waits on this block
-        #: (HiNFS's ordered-mode deferred commit, Section 4.1).
-        self.pending_txs = set()
+        #: (HiNFS's ordered-mode deferred commit, Section 4.1).  A dict
+        #: used as an insertion-ordered set: completion must visit the
+        #: transactions in a reproducible order (a ``set`` would iterate
+        #: in ``id()`` order and break run-to-run determinism).
+        self.pending_txs = {}
 
     @property
     def dram_addr(self):
@@ -68,6 +77,20 @@ class BufferBlock(LRWNode):
         )
 
 
+class BufferShard:
+    """One slice of the DRAM Block Index plus its dirty list."""
+
+    __slots__ = ("index", "dirty")
+
+    def __init__(self):
+        # ino -> BTree(file_block -> BufferBlock): this shard's slice of
+        # the DRAM Block Index.
+        self.index = {}
+        # (ino, file_block) -> BufferBlock, in first-dirtied order; the
+        # shard-local dirty list writeback workers scan.
+        self.dirty = {}
+
+
 class WriteBuffer:
     """The DRAM buffer pool and its index/LRW bookkeeping."""
 
@@ -81,8 +104,8 @@ class WriteBuffer:
         #: with LFU/ARC/2Q available as the paper's deferred future work.
         self.policy = make_policy(hinfs_config.replacement_policy,
                                   capacity_hint=self.blocks_total)
-        # ino -> BTree(file_block -> BufferBlock): the DRAM Block Index.
-        self._index = {}
+        self.nr_shards = max(1, hinfs_config.buffer_shards)
+        self._shards = [BufferShard() for _ in range(self.nr_shards)]
 
     # -- capacity ---------------------------------------------------------
 
@@ -104,8 +127,14 @@ class WriteBuffer:
 
     # -- index -----------------------------------------------------------
 
+    def shard_of(self, ino):
+        return ino % self.nr_shards
+
+    def shard(self, ino):
+        return self._shards[self.shard_of(ino)]
+
     def lookup(self, ino, file_block):
-        tree = self._index.get(ino)
+        tree = self.shard(ino).index.get(ino)
         if tree is None:
             return None
         return tree.get(file_block)
@@ -119,10 +148,11 @@ class WriteBuffer:
                 "buffer insert without a free block; caller must reclaim first"
             ) from None
         block = BufferBlock(ino, file_block, dram_block, nvmm_block)
-        tree = self._index.get(ino)
+        index = self.shard(ino).index
+        tree = index.get(ino)
         if tree is None:
             tree = BTree()
-            self._index[ino] = tree
+            index[ino] = tree
         tree.insert(file_block, block)
         self.policy.on_buffered(block)
         self.env.stats.bump("buffer_inserts")
@@ -134,18 +164,20 @@ class WriteBuffer:
         The caller is responsible for having flushed or discarded the
         dirty lines first.
         """
-        tree = self._index.get(block.ino)
+        shard = self.shard(block.ino)
+        tree = shard.index.get(block.ino)
         if tree is not None:
             tree.remove(block.file_block)
             if len(tree) == 0:
-                del self._index[block.ino]
+                del shard.index[block.ino]
+        shard.dirty.pop((block.ino, block.file_block), None)
         self.policy.on_evict(block)
         self._alloc.free(block.dram_block)
         self.env.stats.bump("buffer_evictions")
 
     def file_blocks(self, ino):
         """All buffered blocks of a file, in file-offset order."""
-        tree = self._index.get(ino)
+        tree = self.shard(ino).index.get(ino)
         if tree is None:
             return []
         return [block for _, block in tree.items()]
@@ -154,8 +186,19 @@ class WriteBuffer:
         """Every buffered block, best-victim first (policy order)."""
         return self.policy.iter_order()
 
+    def shard_dirty_blocks(self, shard_id):
+        """One shard's dirty blocks, first-dirtied first."""
+        return list(self._shards[shard_id].dirty.values())
+
+    def dirty_blocks(self):
+        """Every dirty block, shard by shard (deterministic order)."""
+        out = []
+        for shard in self._shards:
+            out.extend(shard.dirty.values())
+        return out
+
     def dirty_block_count(self):
-        return sum(1 for b in self.policy.iter_order() if b.is_dirty)
+        return sum(len(shard.dirty) for shard in self._shards)
 
     # -- data plane ---------------------------------------------------------
 
@@ -176,7 +219,14 @@ class WriteBuffer:
         self.env.stats.bytes_written_dram += len(data)
         block.bitmap.mark_written(offset_in_block, len(data))
         block.last_written_ns = now_ns
+        self.shard(block.ino).dirty.setdefault(
+            (block.ino, block.file_block), block
+        )
         self.policy.on_write(block)
+
+    def mark_clean(self, block):
+        """Drop a block from its shard's dirty list (lines persisted)."""
+        self.shard(block.ino).dirty.pop((block.ino, block.file_block), None)
 
     def read_from(self, ctx, block, offset_in_block, length):
         return self.dram.read(ctx, block.dram_addr + offset_in_block, length)

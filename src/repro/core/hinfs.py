@@ -26,7 +26,7 @@ from repro.core.benefit import BufferBenefitModel
 from repro.core.bitmap import FULL_MASK, iter_runs, iter_valid_runs, popcount
 from repro.core.buffer import WriteBuffer
 from repro.core.config import HiNFSConfig
-from repro.core.writeback import WritebackTask
+from repro.core.writeback import WritebackPool
 from repro.engine.errors import DeadlockError, ThreadDiagnostic
 from repro.engine.stats import CAT_READ_ACCESS, CAT_WRITE_ACCESS
 from repro.fs.errors import IsADirectory, MediaError
@@ -59,7 +59,8 @@ class PendingTx:
 
     def attach(self, block):
         self.blocks.add(block)
-        block.pending_txs.add(self)
+        # pending_txs is an insertion-ordered dict-as-set (determinism).
+        block.pending_txs[self] = None
 
     def complete_block(self, ctx, journal, block):
         """Called when ``block`` has been persisted (or discarded)."""
@@ -96,7 +97,7 @@ class HiNFS(PMFS):
         self.hconfig = hconfig or HiNFSConfig()
         self.buffer = WriteBuffer(env, config, self.hconfig)
         self.benefit = BufferBenefitModel(env, config, self.hconfig)
-        self.writeback = WritebackTask(env, self)
+        self.writeback = WritebackPool(env, self)
         env.background.register(self.writeback)
         self.journal.wrap_barrier = self._wrap_barrier
         self._mmapped = set()
@@ -323,9 +324,9 @@ class HiNFS(PMFS):
             raise DeadlockError(
                 "DRAM write buffer exhausted: demand reclaim freed no "
                 "blocks (%d buffered, 0 free)" % self.buffer.used_blocks,
-                diagnostics=[
-                    ThreadDiagnostic.of(ctx),
-                    ThreadDiagnostic.of(self.writeback.ctx),
+                diagnostics=[ThreadDiagnostic.of(ctx)] + [
+                    ThreadDiagnostic.of(worker.ctx)
+                    for worker in self.writeback.workers
                 ],
                 notes=notes,
             )

@@ -1,30 +1,79 @@
-"""Background writeback threads (paper Section 3.2).
+"""Background writeback workers (paper Section 3.2).
 
 Two wakeup causes, exactly as the paper specifies:
 
-1. Pressure: fewer than ``Low_f`` free DRAM blocks.  The thread reclaims
+1. Pressure: fewer than ``Low_f`` free DRAM blocks.  The pool reclaims
    LRW victims until ``High_f`` blocks are free, then keeps scanning the
-   LRW list for dirty blocks last updated more than 30 s ago.
+   dirty lists for blocks last updated more than 30 s ago.
 2. Periodic: every 5 seconds it writes cold updated data back to NVMM.
 
-The task runs on its own virtual-time line (its flushes occupy NVMM
-writer slots, contending with foreground eager writes -- the effect
-Figure 9 attributes background traffic to).  When the foreground runs
-the buffer completely dry it calls :meth:`demand_reclaim` and *waits*,
-which is the only time writeback latency enters the critical path.
+The paper runs *multiple* writeback threads; here that is a
+:class:`WritebackPool` of ``nr_writeback_workers`` timelines.  Each
+worker owns a round-robin subset of the buffer's shards and flushes its
+victims on its own virtual clock, so a batch spanning many files drains
+in parallel (bounded below by the shared ``N_w`` NVMM writer slots).
+When victims cluster in one worker's shards, idle workers *steal* the
+tail of the longest queue (``writeback_steals``), so a single hot file
+still spreads across the pool.
+
+All worker flushes occupy NVMM writer slots, contending with foreground
+eager writes -- the effect Figure 9 attributes background traffic to.
+When the foreground runs the buffer completely dry it calls
+:meth:`demand_reclaim` and *waits* for the slowest participating
+worker, which is the only time writeback latency enters the critical
+path.  Worker 0 runs on the pool's registered timeline (named
+``hinfs-writeback``); extra workers are ``hinfs-writeback-N``.
 """
 
 from repro.engine.background import NEVER, BackgroundTask
+from repro.engine.context import ExecContext
 from repro.obs.trace import LAYER_WRITEBACK
 
 
-class WritebackTask(BackgroundTask):
-    """The lazily-advanced writeback timeline for one HiNFS instance."""
+class WritebackWorker:
+    """One parallel writeback timeline and the shards it owns."""
+
+    __slots__ = ("worker_id", "ctx", "shards")
+
+    def __init__(self, worker_id, ctx, shards):
+        self.worker_id = worker_id
+        self.ctx = ctx
+        self.shards = shards
+
+    def __repr__(self):
+        return "WritebackWorker(%d, now=%d, shards=%r)" % (
+            self.worker_id, self.ctx.now, self.shards,
+        )
+
+
+class WritebackPool(BackgroundTask):
+    """The lazily-advanced writeback worker pool of one HiNFS instance."""
 
     def __init__(self, env, hinfs):
         super().__init__(env, "hinfs-writeback")
         self.hinfs = hinfs
         self.config = hinfs.hconfig
+        nr = max(1, self.config.nr_writeback_workers)
+        nr_shards = hinfs.buffer.nr_shards
+        #: Worker 0 reuses the pool's registered context (and its name,
+        #: which diagnostics and tests key on); the rest get their own.
+        self.workers = []
+        for wid in range(nr):
+            ctx = self.ctx if wid == 0 else ExecContext(
+                env, "hinfs-writeback-%d" % wid
+            )
+            shards = tuple(s for s in range(nr_shards) if s % nr == wid)
+            self.workers.append(WritebackWorker(wid, ctx, shards))
+        self._next_periodic_ns = self.config.periodic_interval_ns
+        self._pressure_ns = NEVER
+
+    @property
+    def nr_workers(self):
+        return len(self.workers)
+
+    def quiesce(self):
+        for worker in self.workers:
+            worker.ctx.clock.reset()
         self._next_periodic_ns = self.config.periodic_interval_ns
         self._pressure_ns = NEVER
 
@@ -36,7 +85,8 @@ class WritebackTask(BackgroundTask):
     def run_due(self, horizon_ns):
         while self.next_due_ns() <= horizon_ns:
             due = self.next_due_ns()
-            self.ctx.clock.advance_to(due)
+            for worker in self.workers:
+                worker.ctx.clock.advance_to(due)
             if self._pressure_ns <= due:
                 self._pressure_ns = NEVER
                 if self.hinfs.buffer.free_blocks < self.config.high_blocks:
@@ -57,11 +107,14 @@ class WritebackTask(BackgroundTask):
     def demand_reclaim(self, fg_ctx):
         """The buffer is completely full: reclaim a batch *synchronously*.
 
-        The flusher's clock catches up to the foreground's, flushes a
-        batch of LRW victims (occupying NVMM writer slots), and the
-        foreground waits for completion -- the paper's foreground stall.
+        Every worker's clock catches up to the foreground's, the victim
+        batch is partitioned across the pool (occupying NVMM writer
+        slots), and the foreground waits for the slowest participating
+        worker -- the paper's foreground stall, shortened by worker
+        parallelism.
         """
-        self.ctx.clock.advance_to(fg_ctx.now)
+        for worker in self.workers:
+            worker.ctx.clock.advance_to(fg_ctx.now)
         buffer = self.hinfs.buffer
         victims = []
         for block in buffer.all_blocks_lrw_order():
@@ -70,19 +123,66 @@ class WritebackTask(BackgroundTask):
             victims.append(block)
         with fg_ctx.waiting("hinfs-writeback demand reclaim "
                             "(%d victim blocks)" % len(victims)):
-            with self.ctx.waiting("flushing %d demand-reclaim victims"
-                                  % len(victims)):
-                self._flush_batch(self.ctx, "demand", victims)
+            ends = []
+            for worker, part in zip(self.workers, self._partition(victims)):
+                if not part:
+                    continue
+                with worker.ctx.waiting("flushing %d demand-reclaim victims"
+                                        % len(part)):
+                    self._flush_batch(worker.ctx, "demand", part)
+                self.env.stats.bump(
+                    "writeback_worker%d_blocks" % worker.worker_id, len(part)
+                )
+                ends.append(worker.ctx.now)
             self.env.stats.bump("writeback_demand_stalls")
             self.env.stats.bump("writeback_demand_blocks", len(victims))
             # The only time writeback latency enters the critical path:
             # the foreground's wait shows up as a writeback phase on its
             # own in-flight request's span.
-            with fg_ctx.layer(LAYER_WRITEBACK):
-                fg_ctx.sync_to(self.ctx.now)
+            if ends:
+                with fg_ctx.layer(LAYER_WRITEBACK):
+                    fg_ctx.sync_to(max(ends))
         # Let the background continue towards High_f off the critical path.
         self.signal_pressure(fg_ctx.now)
         return len(victims)
+
+    # -- work distribution ----------------------------------------------------
+
+    def _partition(self, victims):
+        """Split a victim batch across the workers.
+
+        Blocks go to the owner of their buffer shard first; then idle
+        workers steal the tail half of the longest queue until nobody
+        sits idle while another worker holds more than one block.
+        """
+        nr = self.nr_workers
+        parts = [[] for _ in range(nr)]
+        shard_of = self.hinfs.buffer.shard_of
+        for block in victims:
+            parts[shard_of(block.ino) % nr].append(block)
+        if nr == 1:
+            return parts
+        while True:
+            busiest = max(range(nr), key=lambda w: len(parts[w]))
+            idle = min(range(nr), key=lambda w: len(parts[w]))
+            take = len(parts[busiest]) // 2
+            if parts[idle] or take == 0:
+                break
+            parts[idle] = parts[busiest][-take:]
+            del parts[busiest][-take:]
+            self.env.stats.bump("writeback_steals")
+            self.env.stats.bump("writeback_stolen_blocks", take)
+        return parts
+
+    def _flush_distributed(self, cause, victims):
+        """Partition a batch and flush each part on its worker's timeline."""
+        for worker, part in zip(self.workers, self._partition(victims)):
+            if not part:
+                continue
+            self._flush_batch(worker.ctx, cause, part)
+            self.env.stats.bump(
+                "writeback_worker%d_blocks" % worker.worker_id, len(part)
+            )
 
     # -- work items -----------------------------------------------------------
 
@@ -93,7 +193,7 @@ class WritebackTask(BackgroundTask):
         requests whose buffered data this batch persists, joining the
         background timeline to the foreground requests in the exported
         trace (and letting fault injection target one request's
-        writeback).
+        writeback, whichever worker flushes it).
         """
         meta = None
         if self.env.trace is not None:
@@ -116,7 +216,7 @@ class WritebackTask(BackgroundTask):
                 victims.append(block)
             if not victims:
                 return
-            self._flush_batch(self.ctx, "pressure", victims)
+            self._flush_distributed("pressure", victims)
             self.env.stats.bump("writeback_pressure_blocks", len(victims))
 
     def _journal_relief(self):
@@ -127,28 +227,36 @@ class WritebackTask(BackgroundTask):
             return
         victims = [block for block in self.hinfs.buffer.all_blocks_lrw_order()
                    if block.pending_txs]
-        self._flush_batch(self.ctx, "journal-relief", victims)
+        self._flush_distributed("journal-relief", victims)
         self.env.stats.bump("writeback_journal_relief_blocks", len(victims))
 
     def _flush_aged(self):
-        """After reclaiming, flush any dirty block older than 30 s."""
-        now = self.ctx.now
+        """After reclaiming, flush any dirty block older than 30 s.
+
+        Scans the per-shard dirty lists (not the whole LRW list): each
+        worker's shards are checked in shard order, so the scan cost and
+        the resulting flush work stay partitioned.
+        """
+        now = max(worker.ctx.now for worker in self.workers)
         victims = [
-            block for block in self.hinfs.buffer.all_blocks_lrw_order()
-            if block.is_dirty
-            and now - block.last_written_ns >= self.config.dirty_age_ns
+            block for block in self.hinfs.buffer.dirty_blocks()
+            if now - block.last_written_ns >= self.config.dirty_age_ns
         ]
-        self._flush_batch(self.ctx, "aged", victims)
+        self._flush_distributed("aged", victims)
         self.env.stats.bump("writeback_aged_blocks", len(victims))
 
     def _periodic_flush(self):
         """The 5-second wakeup: persist blocks that have gone cold (not
         written for at least one full interval)."""
-        now = self.ctx.now
+        now = max(worker.ctx.now for worker in self.workers)
         interval = self.config.periodic_interval_ns
         victims = [
-            block for block in self.hinfs.buffer.all_blocks_lrw_order()
-            if block.is_dirty and now - block.last_written_ns >= interval
+            block for block in self.hinfs.buffer.dirty_blocks()
+            if now - block.last_written_ns >= interval
         ]
-        self._flush_batch(self.ctx, "periodic", victims)
+        self._flush_distributed("periodic", victims)
         self.env.stats.bump("writeback_periodic_blocks", len(victims))
+
+
+#: Historical name, kept for callers predating the worker pool.
+WritebackTask = WritebackPool

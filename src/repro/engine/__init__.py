@@ -13,6 +13,9 @@ for bandwidth).  This package provides the virtual-time equivalent:
   foreground threads and a min-clock-first scheduler.
 - :mod:`repro.engine.background` -- lazily-advanced background timelines
   (HiNFS's writeback threads live here).
+- :mod:`repro.engine.locks` -- virtual-time mutexes and reader/writer
+  locks; contended acquisition advances the waiter's clock to the
+  release point (per-inode VFS locking is built on these).
 - :mod:`repro.engine.stats` -- counters and time breakdowns that feed the
   paper's figures.
 """
@@ -22,6 +25,7 @@ from repro.engine.clock import NS_PER_SEC, VirtualClock, format_ns
 from repro.engine.context import ExecContext
 from repro.engine.env import SimEnv
 from repro.engine.errors import DeadlockError, SimulationError, ThreadDiagnostic
+from repro.engine.locks import InodeLockTable, VMutex, VRWLock
 from repro.engine.resources import FCFSServers
 from repro.engine.scheduler import Scheduler
 from repro.engine.stats import SimStats, TimeBreakdown
@@ -34,6 +38,7 @@ __all__ = [
     "DeadlockError",
     "ExecContext",
     "FCFSServers",
+    "InodeLockTable",
     "Scheduler",
     "SimEnv",
     "SimStats",
@@ -41,6 +46,8 @@ __all__ = [
     "SimulationError",
     "ThreadDiagnostic",
     "TimeBreakdown",
+    "VMutex",
+    "VRWLock",
     "VirtualClock",
     "format_ns",
 ]

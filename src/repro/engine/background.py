@@ -39,6 +39,16 @@ class BackgroundTask:
         """
         raise NotImplementedError
 
+    def quiesce(self):
+        """Rewind this timeline to an idle t=0 state.
+
+        Called between a free pre-allocation phase and the measured run,
+        after the file system has been unmounted (so the task holds no
+        pending work).  Subclasses with their own wakeup state must
+        override and also reset that.
+        """
+        self.ctx.clock.reset()
+
 
 class BackgroundRegistry:
     """All background timelines attached to a simulation environment."""
@@ -55,6 +65,11 @@ class BackgroundRegistry:
 
     def tasks(self):
         return list(self._tasks)
+
+    def quiesce(self):
+        """Rewind every registered timeline to idle t=0."""
+        for task in self._tasks:
+            task.quiesce()
 
     def advance_to(self, horizon_ns):
         """Run every task's work due at or before ``horizon_ns``."""

@@ -61,5 +61,15 @@ class VirtualClock:
             self._now = int(target_ns)
         return self._now
 
+    def reset(self, start_ns=0):
+        """Rewind to ``start_ns``.
+
+        The one sanctioned break in monotonicity: benchmark runners call
+        it (via :meth:`repro.engine.env.SimEnv.quiesce`) to restart
+        background timelines at t=0 after a free pre-allocation phase,
+        so the measured run starts on an idle system.
+        """
+        self._now = int(start_ns)
+
     def __repr__(self):
         return "VirtualClock(%s)" % format_ns(self._now)

@@ -28,6 +28,10 @@ class ExecContext:
         #: The open trace span while this thread is inside one (tracing
         #: enabled), else None.  Lower layers attach phases to it.
         self.trace_span = None
+        #: ``(ino, mode)`` pairs of inode locks this context currently
+        #: holds, in acquisition order (see :mod:`repro.engine.locks`);
+        #: lockdep checks new acquisitions against this list.
+        self.held_locks = []
 
     @property
     def now(self):

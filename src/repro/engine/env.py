@@ -41,6 +41,20 @@ class SimEnv:
         self.trace = TraceRing(capacity)
         return self.trace
 
+    def quiesce(self):
+        """Rewind timed resources and background timelines to idle t=0.
+
+        Benchmark runners call this between the free pre-allocation
+        phase and the measured run (after unmount/drop_caches, so
+        nothing holds in-flight state): pre-allocating a fileset larger
+        than the DRAM buffer makes the background flushers book NVMM
+        writer-slot time at the head of the timeline, and without this
+        the measured run starts queued behind its own setup.
+        """
+        for resource in self._resources.values():
+            resource.reset()
+        self.background.quiesce()
+
     def add_resource(self, name, capacity):
         if name in self._resources:
             raise SimulationError("resource %r already registered" % name)

@@ -1,0 +1,250 @@
+"""Virtual-time synchronization primitives.
+
+The scheduler (:mod:`repro.engine.scheduler`) interleaves simulated
+threads min-clock-first and runs each logical operation atomically, so
+locks here do not need to suspend a Python generator: *blocking* means
+advancing the acquiring thread's virtual clock to the moment the lock
+becomes free -- the exact analogue of the kernel parking a task and
+waking it at release time.  Because the scheduler always resumes the
+least-advanced thread, acquisition order is FCFS in virtual time: a
+thread that reaches the lock at t=10 is granted it before one arriving
+at t=20, and the later thread's clock is pushed past the earlier one's
+release point.
+
+Contended waits are charged to the waiting thread's clock, counted in
+``SimStats`` (``lock_acquisitions`` / ``lock_contentions`` /
+``lock_wait_ns``), and -- when the trace spine is enabled -- recorded as
+a ``lock``-layer phase on the thread's in-flight request span, so lock
+pressure shows up in ``layer_time_ns`` next to fs/writeback/nvmm time.
+
+:class:`InodeLockTable` adds lockdep-style ordering enforcement: inode
+locks must be taken lowest-inode-first; an acquisition that inverts the
+order of a lock already held by the same context raises
+:class:`~repro.engine.errors.DeadlockError` at the acquisition site
+(the ABBA pair would hang a real kernel; here it is diagnosed eagerly).
+"""
+
+from contextlib import ExitStack, contextmanager
+
+from repro.engine.errors import DeadlockError, ThreadDiagnostic
+from repro.engine.stats import CAT_OTHERS
+from repro.obs.trace import LAYER_LOCK
+
+
+class _VLockBase:
+    """Shared wait/accounting machinery of the virtual locks."""
+
+    def __init__(self, env, name):
+        self.env = env
+        self.name = name
+        #: Contended acquisitions and total virtual wait, per lock.
+        self.contentions = 0
+        self.wait_ns_total = 0
+
+    def _wait_until(self, ctx, free_at, what):
+        """Advance ``ctx`` to ``free_at`` if the lock is busy until then.
+
+        The wait is charged as *Others* time (lock spinning is neither a
+        data copy nor media access), tagged as a ``lock`` phase on the
+        enclosing trace span, and labelled for deadlock diagnostics.
+        """
+        self.env.stats.bump("lock_acquisitions")
+        wait = free_at - ctx.now
+        if wait <= 0:
+            return 0
+        self.contentions += 1
+        self.wait_ns_total += wait
+        self.env.stats.bump("lock_contentions")
+        self.env.stats.bump("lock_wait_ns", wait)
+        with ctx.waiting("%s of %r" % (what, self.name)):
+            with ctx.layer(LAYER_LOCK):
+                ctx.sync_to(free_at, CAT_OTHERS)
+        return wait
+
+
+class VMutex(_VLockBase):
+    """A mutual-exclusion lock on the virtual timeline."""
+
+    def __init__(self, env, name="vmutex"):
+        super().__init__(env, name)
+        #: Virtual time at which the last holder released.
+        self._free_at = 0
+        #: Name of the current holder (diagnostics only).
+        self.owner = None
+
+    def acquire(self, ctx):
+        self._wait_until(ctx, self._free_at, "acquire")
+        self.owner = ctx.name
+        return ctx.now
+
+    def release(self, ctx):
+        if ctx.now > self._free_at:
+            self._free_at = ctx.now
+        self.owner = None
+
+    @contextmanager
+    def held(self, ctx):
+        self.acquire(ctx)
+        try:
+            yield self
+        finally:
+            self.release(ctx)
+
+    def __repr__(self):
+        return "VMutex(%r, free_at=%d, owner=%r)" % (
+            self.name, self._free_at, self.owner,
+        )
+
+
+class VRWLock(_VLockBase):
+    """A reader/writer lock on the virtual timeline.
+
+    Readers overlap freely; a writer excludes both readers and writers.
+    ``_write_free_at`` is when the last writer finished, ``_read_free_at``
+    when the last reader finished -- a new reader only waits out writers,
+    a new writer waits out both.
+    """
+
+    def __init__(self, env, name="vrwlock"):
+        super().__init__(env, name)
+        self._write_free_at = 0
+        self._read_free_at = 0
+        #: Name of the current writer (diagnostics only).
+        self.writer = None
+
+    def acquire_read(self, ctx):
+        self._wait_until(ctx, self._write_free_at, "read acquire")
+        return ctx.now
+
+    def release_read(self, ctx):
+        if ctx.now > self._read_free_at:
+            self._read_free_at = ctx.now
+
+    def acquire_write(self, ctx):
+        free_at = max(self._write_free_at, self._read_free_at)
+        self._wait_until(ctx, free_at, "write acquire")
+        self.writer = ctx.name
+        return ctx.now
+
+    def release_write(self, ctx):
+        if ctx.now > self._write_free_at:
+            self._write_free_at = ctx.now
+        self.writer = None
+
+    @contextmanager
+    def read_held(self, ctx):
+        self.acquire_read(ctx)
+        try:
+            yield self
+        finally:
+            self.release_read(ctx)
+
+    @contextmanager
+    def write_held(self, ctx):
+        self.acquire_write(ctx)
+        try:
+            yield self
+        finally:
+            self.release_write(ctx)
+
+    def __repr__(self):
+        return "VRWLock(%r, wfree=%d, rfree=%d, writer=%r)" % (
+            self.name, self._write_free_at, self._read_free_at, self.writer,
+        )
+
+
+class InodeLockTable:
+    """Per-inode :class:`VRWLock` instances with lock-order enforcement.
+
+    The canonical order is *lowest inode number first*.  Every
+    acquisition is checked against the locks the context already holds
+    (``ctx.held_locks``); taking an inode lock while holding one with a
+    higher number is the ABBA pattern and raises
+    :class:`DeadlockError` immediately, with the holder's full lock set
+    in the diagnostics.  Multi-inode operations (``rename``, ``unlink``)
+    therefore go through :meth:`write_locked_many`, which sorts.
+    """
+
+    def __init__(self, env, name="inode"):
+        self.env = env
+        self.name = name
+        self._locks = {}
+
+    def lock(self, ino):
+        """The (lazily created) lock of one inode."""
+        lock = self._locks.get(ino)
+        if lock is None:
+            lock = VRWLock(self.env, "%s:%d" % (self.name, ino))
+            self._locks[ino] = lock
+        return lock
+
+    def drop(self, ino):
+        """Forget a deleted inode's lock (its number may be reused)."""
+        self._locks.pop(ino, None)
+
+    # -- lockdep ---------------------------------------------------------
+
+    def _check_order(self, ctx, ino, mode):
+        held = getattr(ctx, "held_locks", None)
+        if not held:
+            return
+        for held_ino, held_mode in held:
+            if held_ino == ino:
+                raise DeadlockError(
+                    "recursive inode lock: %r re-acquiring inode %d (%s) "
+                    "while already holding it (%s)"
+                    % (ctx.name, ino, mode, held_mode),
+                    diagnostics=[ThreadDiagnostic.of(ctx)],
+                )
+            if held_ino > ino:
+                raise DeadlockError(
+                    "inode lock-order violation (ABBA risk): %r acquiring "
+                    "inode %d (%s) while holding inode %d (%s); canonical "
+                    "order is lowest-inode-first"
+                    % (ctx.name, ino, mode, held_ino, held_mode),
+                    diagnostics=[ThreadDiagnostic.of(ctx)],
+                    notes=["held inode locks: %s"
+                           % ", ".join("%d(%s)" % h for h in held)],
+                )
+
+    def _push(self, ctx, ino, mode):
+        self._check_order(ctx, ino, mode)
+        ctx.held_locks.append((ino, mode))
+
+    def _pop(self, ctx, ino, mode):
+        try:
+            ctx.held_locks.remove((ino, mode))
+        except ValueError:
+            pass
+
+    # -- acquisition context managers ------------------------------------
+
+    @contextmanager
+    def read_locked(self, ctx, ino):
+        lock = self.lock(ino)
+        self._push(ctx, ino, "read")
+        lock.acquire_read(ctx)
+        try:
+            yield lock
+        finally:
+            lock.release_read(ctx)
+            self._pop(ctx, ino, "read")
+
+    @contextmanager
+    def write_locked(self, ctx, ino):
+        lock = self.lock(ino)
+        self._push(ctx, ino, "write")
+        lock.acquire_write(ctx)
+        try:
+            yield lock
+        finally:
+            lock.release_write(ctx)
+            self._pop(ctx, ino, "write")
+
+    @contextmanager
+    def write_locked_many(self, ctx, inos):
+        """Write-lock a set of inodes in the canonical (ascending) order."""
+        with ExitStack() as stack:
+            for ino in sorted(set(inos)):
+                stack.enter_context(self.write_locked(ctx, ino))
+            yield

@@ -358,7 +358,11 @@ class Ext2(FileSystem):
             doomed = [fb for fb in inode.blocks if fb >= first_dead]
             for fb in doomed:
                 self.balloc.free(inode.blocks.pop(fb))
-            for page in list(self.cache.dirty_pages_of(ino)):
+            # truncate_inode_pages: every cached page past the new EOF
+            # goes, clean ones included -- a clean page left behind would
+            # resurrect pre-truncate bytes when a later extending write
+            # finds it in the cache.
+            for page in self.cache.pages_of(ino):
                 if page.file_block >= first_dead:
                     self.cache.drop(page)
             # Zero the partial tail past new_size (in the cache, dirtied

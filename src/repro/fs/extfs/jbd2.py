@@ -81,3 +81,7 @@ class JBD2CommitTask(BackgroundTask):
             self.ctx.clock.advance_to(self._next_ns)
             self._next_ns += self.journal.commit_interval_ns
             self.journal.commit(self.ctx)
+
+    def quiesce(self):
+        super().quiesce()
+        self._next_ns = self.journal.commit_interval_ns

@@ -10,10 +10,20 @@ Data syscalls build one :class:`repro.io.IORequest` each -- vectored
 variants (``readv``/``writev``/``pwritev``/``preadv``) put the whole
 iovec list in a single request, so the fs below sees one operation, one
 syscall-overhead charge, and (for HiNFS) one eager/lazy decision.
+
+Concurrency: the VFS serializes per inode, not globally.  Data reads
+take the file's inode lock shared, writes/fsync/truncate take it
+exclusive, and multi-inode namespace operations (``rename``, ``unlink``)
+acquire their whole inode set in the canonical lowest-inode-first order
+(enforced by :class:`repro.engine.locks.InodeLockTable` -- an inverted
+pair raises ``DeadlockError`` instead of hanging).  Threads touching
+disjoint files never contend here; shared bottlenecks below (NVMM writer
+slots, the journal) remain the only cross-file serialization.
 """
 
 from contextlib import contextmanager
 
+from repro.engine.locks import InodeLockTable
 from repro.fs import flags as f
 from repro.fs.base import ROOT_INO
 from repro.io import OP_READ, OP_WRITE, IORequest
@@ -66,6 +76,9 @@ class VFS:
         self.sync_mount = sync_mount
         self._files = {}
         self._next_fd = 3
+        #: Per-inode reader/writer locks (shared for reads, exclusive
+        #: for writes/fsync/truncate and namespace mutations).
+        self.ilocks = InodeLockTable(env)
         # (parent_ino, name) -> child ino; the kernel's dentry cache.
         self._dcache = {}
         # Per-inode bytes written since the last fsync, for the paper's
@@ -197,7 +210,8 @@ class VFS:
                     raise IsADirectory(path)
                 if flags & f.O_TRUNC and f.writable(flags):
                     self._check_writable("truncate of %r" % path)
-                    with self._media_guard():
+                    with self.ilocks.write_locked(ctx, ino), \
+                            self._media_guard():
                         self.fs.truncate(ctx, ino, 0)
             fd = self._next_fd
             self._next_fd += 1
@@ -240,8 +254,11 @@ class VFS:
                 raise NotFound(path)
             if self.fs.getattr(ctx, ino).is_dir:
                 raise IsADirectory(path)
-            with self._media_guard():
-                self.fs.unlink(ctx, parent, name, ino)
+            # Parent and victim locked together, lowest inode first.
+            with self.ilocks.write_locked_many(ctx, (parent, ino)):
+                with self._media_guard():
+                    self.fs.unlink(ctx, parent, name, ino)
+            self.ilocks.drop(ino)
             self._dcache.pop((parent, name), None)
             self._unsynced_bytes.pop(ino, None)
             self.env.stats.ops_completed += 1
@@ -287,11 +304,21 @@ class VFS:
                     raise IsADirectory(new_path)
                 if moving_dir:
                     raise NotADirectory(new_path)
-            with self._media_guard():
-                self.fs.rename(
-                    ctx, old_parent, old_name, new_parent, new_name, ino,
-                    replaced_ino=replaced,
-                )
+            # Both parents, the moved inode, and any replaced victim are
+            # locked as one set in the canonical ascending-inode order;
+            # concurrent cross renames (a->b, b->a) therefore cannot
+            # deadlock -- both threads lock the same sequence.
+            lock_set = [old_parent, new_parent, ino]
+            if replaced is not None:
+                lock_set.append(replaced)
+            with self.ilocks.write_locked_many(ctx, lock_set):
+                with self._media_guard():
+                    self.fs.rename(
+                        ctx, old_parent, old_name, new_parent, new_name, ino,
+                        replaced_ino=replaced,
+                    )
+            if replaced is not None:
+                self.ilocks.drop(replaced)
             self._dcache.pop((old_parent, old_name), None)
             self._dcache[(new_parent, new_name)] = ino
             if replaced is not None:
@@ -344,8 +371,9 @@ class VFS:
         )
         with ctx.syscall(name, req=req):
             self._syscall_entry(ctx)
-            with self._media_guard(), ctx.layer("fs"):
-                data = self.fs.submit(ctx, req)
+            with self.ilocks.read_locked(ctx, file.ino):
+                with self._media_guard(), ctx.layer("fs"):
+                    data = self.fs.submit(ctx, req)
             self.env.stats.ops_completed += 1
             return req.scatter(data)
 
@@ -365,8 +393,9 @@ class VFS:
         )
         with ctx.syscall(name, req=req):
             self._syscall_entry(ctx)
-            with self._media_guard(), ctx.layer("fs"):
-                written = self.fs.submit(ctx, req)
+            with self.ilocks.write_locked(ctx, file.ino):
+                with self._media_guard(), ctx.layer("fs"):
+                    written = self.fs.submit(ctx, req)
             self.env.stats.ops_completed += 1
             self.env.stats.bump("app_bytes_written", written)
             if eager:
@@ -433,8 +462,9 @@ class VFS:
         with ctx.syscall("fsync"):
             self._syscall_entry(ctx)
             file = self._file(fd)
-            with self._media_guard(), ctx.layer("fs"):
-                self.fs.fsync(ctx, file.ino)
+            with self.ilocks.write_locked(ctx, file.ino):
+                with self._media_guard(), ctx.layer("fs"):
+                    self.fs.fsync(ctx, file.ino)
             self.env.stats.ops_completed += 1
             self.env.stats.bump(
                 "app_bytes_fsynced", self._unsynced_bytes.pop(file.ino, 0)
@@ -450,8 +480,9 @@ class VFS:
             self._check_writable("truncate of %r" % path)
             parts = [p for p in path.split("/") if p]
             ino = self._walk(ctx, parts)
-            with self._media_guard(), ctx.layer("fs"):
-                self.fs.truncate(ctx, ino, new_size)
+            with self.ilocks.write_locked(ctx, ino):
+                with self._media_guard(), ctx.layer("fs"):
+                    self.fs.truncate(ctx, ino, new_size)
             self.env.stats.ops_completed += 1
 
     def lseek(self, ctx, fd, pos, whence=f.SEEK_SET):

@@ -23,6 +23,8 @@ LAYER_VFS = "vfs"
 LAYER_FS = "fs"
 LAYER_WRITEBACK = "writeback"
 LAYER_NVMM = "nvmm"
+#: Contended virtual-lock waits (see :mod:`repro.engine.locks`).
+LAYER_LOCK = "lock"
 
 
 class Span:

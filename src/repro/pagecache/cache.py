@@ -141,6 +141,13 @@ class PageCache:
 
     # -- dirty-set queries ----------------------------------------------------
 
+    def pages_of(self, ino):
+        """Every cached page of a file, clean or dirty, in block order."""
+        tree = self._files.get(ino)
+        if tree is None:
+            return []
+        return [page for _, page in tree.items()]
+
     def dirty_pages_of(self, ino):
         tree = self._files.get(ino)
         if tree is None:

@@ -26,6 +26,10 @@ class PdflushTask(BackgroundTask):
             self._next_ns += self.interval_ns
             self._flush_round()
 
+    def quiesce(self):
+        super().quiesce()
+        self._next_ns = self.interval_ns
+
     def _flush_round(self):
         now = self.ctx.now
         dirty = self.cache.dirty_pages_lru_order()

@@ -14,12 +14,14 @@ class FioWorkload(Workload):
     name = "fio"
 
     def __init__(self, io_size=4096, file_size=8 << 20, read_fraction=1 / 3,
-                 ops_per_thread=2000, seed=42, threads=1):
+                 ops_per_thread=2000, seed=42, threads=1, fsync_every=0):
         super().__init__(seed=seed, threads=threads)
         self.io_size = int(io_size)
         self.file_size = int(file_size)
         self.read_fraction = read_fraction
         self.ops_per_thread = ops_per_thread
+        #: fio's ``fsync=N``: sync the file every N ops (0 = never).
+        self.fsync_every = int(fsync_every)
 
     def path(self, thread_id):
         return "/fio.%d.dat" % thread_id
@@ -36,12 +38,14 @@ class FioWorkload(Workload):
 
         def body(ctx):
             fd = vfs.open(ctx, self.path(thread_id), f.O_RDWR)
-            for _ in range(self.ops_per_thread):
+            for op in range(self.ops_per_thread):
                 offset = rng.randrange(max_offset)
                 if rng.random() < self.read_fraction:
                     vfs.pread(ctx, fd, offset, self.io_size)
                 else:
                     vfs.pwrite(ctx, fd, offset, chunk)
+                if self.fsync_every and (op + 1) % self.fsync_every == 0:
+                    vfs.fsync(ctx, fd)
                 yield
             vfs.close(ctx, fd)
 

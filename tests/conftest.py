@@ -1,0 +1,31 @@
+"""Repo-wide test configuration: Hypothesis profiles.
+
+CI runs with ``HYPOTHESIS_PROFILE=ci`` (and a fixed ``--hypothesis-seed``)
+so property tests are deterministic across runs; the default profile
+keeps local runs fast.
+"""
+
+import os
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "default",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile(
+    "ci",
+    deadline=None,
+    max_examples=30,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile(
+    "thorough",
+    deadline=None,
+    max_examples=300,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))

@@ -1,0 +1,108 @@
+"""Parallel writeback workers: shard ownership, stealing, determinism.
+
+The pool replaces the single writeback timeline with
+``nr_writeback_workers`` worker clocks; these tests pin down the
+partitioning rules (shard owner first, tail-stealing for hot shards),
+the per-worker accounting, and that one worker reproduces the old
+single-task behaviour exactly.
+"""
+
+from repro.core import HiNFS, HiNFSConfig
+from repro.core.writeback import WritebackPool, WritebackTask
+from repro.engine.background import NEVER
+
+from tests.fs.conftest import PmfsRig
+
+
+def make_rig(**hconf):
+    hconf.setdefault("buffer_bytes", 64 * 4096)
+    return PmfsRig(fs_cls=HiNFS, hconfig=HiNFSConfig(**hconf))
+
+
+def test_worker_zero_keeps_the_registered_timeline_name():
+    rig = make_rig(nr_writeback_workers=4)
+    pool = rig.fs.writeback
+    assert pool.nr_workers == 4
+    assert pool.workers[0].ctx is pool.ctx
+    assert pool.ctx.name == "hinfs-writeback"
+    assert [w.ctx.name for w in pool.workers[1:]] == [
+        "hinfs-writeback-1", "hinfs-writeback-2", "hinfs-writeback-3",
+    ]
+
+
+def test_shards_are_partitioned_round_robin():
+    rig = make_rig(nr_writeback_workers=3, buffer_shards=8)
+    pool = rig.fs.writeback
+    owned = [s for w in pool.workers for s in w.shards]
+    assert sorted(owned) == list(range(8))
+    for worker in pool.workers:
+        assert all(s % 3 == worker.worker_id for s in worker.shards)
+
+
+def test_writeback_task_alias_is_the_pool():
+    assert WritebackTask is WritebackPool
+
+
+def test_demand_reclaim_spreads_across_workers():
+    rig = make_rig(nr_writeback_workers=4, reclaim_batch=32)
+    rig.vfs.write_file(rig.ctx, "/spread", b"d" * (64 * 4096))
+    assert rig.fs.buffer.free_blocks == 0
+    freed = rig.fs.writeback.demand_reclaim(rig.ctx)
+    assert freed > 0
+    per_worker = [rig.env.stats.count("writeback_worker%d_blocks" % w)
+                  for w in range(4)]
+    assert sum(per_worker) == freed
+    # A 32-block batch over many files cannot land on a single worker.
+    assert sum(1 for n in per_worker if n > 0) >= 2
+
+
+def test_single_hot_shard_is_stolen_from():
+    rig = make_rig(nr_writeback_workers=4, buffer_shards=4,
+                   reclaim_batch=32)
+    # One big file: every block shares an inode, hence one shard/owner.
+    rig.vfs.write_file(rig.ctx, "/hot", b"h" * (64 * 4096))
+    assert rig.fs.buffer.free_blocks == 0
+    freed = rig.fs.writeback.demand_reclaim(rig.ctx)
+    assert freed > 0
+    assert rig.env.stats.count("writeback_steals") > 0
+    assert rig.env.stats.count("writeback_stolen_blocks") > 0
+    busy = sum(1 for w in range(4)
+               if rig.env.stats.count("writeback_worker%d_blocks" % w))
+    assert busy >= 2
+
+
+def test_parallel_demand_reclaim_is_not_slower():
+    """Four timelines draining a batch finish no later than one."""
+    def stall_ns(workers):
+        rig = make_rig(nr_writeback_workers=workers)
+        rig.vfs.write_file(rig.ctx, "/fill", b"d" * (64 * 4096))
+        before = rig.ctx.now
+        rig.fs.writeback.demand_reclaim(rig.ctx)
+        return rig.ctx.now - before
+
+    assert stall_ns(4) <= stall_ns(1)
+
+
+def test_one_worker_matches_pool_of_one():
+    """The pool with one worker must reproduce the legacy behaviour:
+    same freed count, same foreground stall."""
+    results = []
+    for _ in range(2):
+        rig = make_rig(nr_writeback_workers=1)
+        rig.vfs.write_file(rig.ctx, "/fill", b"d" * (64 * 4096))
+        before = rig.ctx.now
+        freed = rig.fs.writeback.demand_reclaim(rig.ctx)
+        results.append((freed, rig.ctx.now - before))
+    assert results[0] == results[1]
+
+
+def test_quiesce_rewinds_workers_and_signals():
+    rig = make_rig(nr_writeback_workers=4)
+    pool = rig.fs.writeback
+    rig.vfs.write_file(rig.ctx, "/fill", b"d" * (64 * 4096))
+    pool.demand_reclaim(rig.ctx)
+    assert any(w.ctx.now > 0 for w in pool.workers)
+    pool.quiesce()
+    assert all(w.ctx.now == 0 for w in pool.workers)
+    assert pool._pressure_ns == NEVER
+    assert pool.next_due_ns() == pool.config.periodic_interval_ns

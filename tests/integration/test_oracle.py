@@ -1,0 +1,387 @@
+"""Differential conformance oracle: five stacks vs a dict-of-bytes model.
+
+A Hypothesis stateful machine drives random syscalls -- open / read /
+write / writev / lseek / truncate / rename / unlink / fsync -- against
+all five simulated file systems *and* a trivially-correct in-memory
+reference (paths -> byte buffers, descriptors -> (buffer, position)).
+Every return value, every raised error class, and the final visible
+namespace must agree across all six.  This is the conformance fence the
+concurrency refactor is locked in by: per-inode locking and parallel
+writeback must never change what a syscall returns.
+
+A second property applies per-thread op scripts on *disjoint* files
+through the real scheduler with 2-4 threads: interleaving may change
+timing, never data.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    Bundle,
+    RuleBasedStateMachine,
+    consumes,
+    initialize,
+    invariant,
+    multiple,
+    rule,
+)
+
+from repro.bench.runner import build_stack
+from repro.engine.context import ExecContext
+from repro.engine.env import SimEnv
+from repro.engine.scheduler import Scheduler
+from repro.fs import flags as f
+from repro.fs.errors import FSError
+from repro.nvmm.config import NVMMConfig
+
+ORACLE_FS = ("hinfs", "pmfs", "ext4-dax", "ext2-nvmmbd", "ext4-nvmmbd")
+PATHS = ["/f0", "/f1", "/f2", "/f3"]
+
+
+class RefFile:
+    """One reference inode: a plain byte buffer."""
+
+    __slots__ = ("data",)
+
+    def __init__(self):
+        self.data = bytearray()
+
+    def pwrite(self, offset, data):
+        if offset > len(self.data):
+            self.data.extend(b"\0" * (offset - len(self.data)))
+        self.data[offset:offset + len(data)] = data
+        return len(data)
+
+    def pread(self, offset, count):
+        return bytes(self.data[offset:offset + count])
+
+    def truncate(self, size):
+        if size <= len(self.data):
+            del self.data[size:]
+        else:
+            self.data.extend(b"\0" * (size - len(self.data)))
+
+
+class RefModel:
+    """The obviously-correct model: POSIX files over Python bytes."""
+
+    def __init__(self):
+        self.namespace = {}
+        self.fds = {}
+
+    def open(self, handle, path, flags):
+        file = self.namespace.get(path)
+        if file is None:
+            if not flags & f.O_CREAT:
+                raise FSError(path)
+            file = self.namespace[path] = RefFile()
+        elif flags & f.O_TRUNC:
+            file.truncate(0)
+        self.fds[handle] = [file, 0, flags]
+
+    def close(self, handle):
+        del self.fds[handle]
+
+    def write(self, handle, data):
+        file, pos, flags = self.fds[handle]
+        if flags & f.O_APPEND:
+            pos = len(file.data)
+        written = file.pwrite(pos, data)
+        self.fds[handle][1] = pos + written
+        return written
+
+    def writev(self, handle, iovecs):
+        return self.write(handle, b"".join(iovecs))
+
+    def read(self, handle, count):
+        file, pos, _flags = self.fds[handle]
+        data = file.pread(pos, count)
+        self.fds[handle][1] = pos + len(data)
+        return data
+
+    def lseek(self, handle, pos, whence):
+        file, cur, _flags = self.fds[handle]
+        if whence == f.SEEK_SET:
+            new = pos
+        elif whence == f.SEEK_CUR:
+            new = cur + pos
+        else:
+            new = len(file.data) + pos
+        if new < 0:
+            raise FSError("negative offset")
+        self.fds[handle][1] = new
+        return new
+
+    def truncate(self, path, size):
+        file = self.namespace.get(path)
+        if file is None:
+            raise FSError(path)
+        file.truncate(size)
+
+    def rename(self, old, new):
+        file = self.namespace.get(old)
+        if file is None:
+            raise FSError(old)
+        if old != new:
+            self.namespace[new] = self.namespace.pop(old)
+
+    def unlink(self, path):
+        if path not in self.namespace:
+            raise FSError(path)
+        del self.namespace[path]
+
+    def open_paths(self):
+        paths = set()
+        for file, _pos, _flags in self.fds.values():
+            for path, named in self.namespace.items():
+                if named is file:
+                    paths.add(path)
+        return paths
+
+
+class OracleStack:
+    """One simulated stack with its own fd table keyed by handle."""
+
+    def __init__(self, fs_name):
+        self.env = SimEnv()
+        self.fs, self.vfs = build_stack(self.env, fs_name, NVMMConfig(),
+                                        48 << 20)
+        self.ctx = ExecContext(self.env, "oracle")
+        self.fds = {}
+
+
+def outcome(fn, *args):
+    """Run one syscall; normalise to a comparable (tag, value) pair.
+
+    Error *classes* are not compared across the model and the stacks
+    (the model only knows generic :class:`FSError`); what must agree is
+    whether the call failed and what a successful call returned.
+    """
+    try:
+        return ("ok", fn(*args))
+    except FSError:
+        return ("err", None)
+
+
+class DifferentialOracle(RuleBasedStateMachine):
+    handles = Bundle("handles")
+
+    @initialize()
+    def build_stacks(self):
+        self.stacks = [OracleStack(name) for name in ORACLE_FS]
+        self.ref = RefModel()
+        self._next_handle = 0
+
+    def check_all(self, expected, per_stack):
+        for stack, got in zip(self.stacks, per_stack):
+            assert got == expected, (
+                "%s diverged: %r != %r" % (stack.fs.__class__.__name__,
+                                           got, expected))
+
+    # -- namespace rules -------------------------------------------------
+
+    @rule(target=handles, path=st.sampled_from(PATHS),
+          create=st.booleans(), trunc=st.booleans(),
+          append=st.booleans())
+    def open(self, path, create, trunc, append):
+        flags = f.O_RDWR
+        flags |= f.O_CREAT if create else 0
+        flags |= f.O_TRUNC if trunc else 0
+        flags |= f.O_APPEND if append else 0
+        handle = self._next_handle
+        self._next_handle += 1
+        expected = outcome(self.ref.open, handle, path, flags)
+        for stack in self.stacks:
+            got = outcome(stack.vfs.open, stack.ctx, path, flags)
+            assert got[0] == expected[0], (path, flags, got, expected)
+            if got[0] == "ok":
+                stack.fds[handle] = got[1]
+        if expected[0] == "err":
+            return multiple()
+        return handle
+
+    @rule(handle=consumes(handles))
+    def close(self, handle):
+        self.ref.close(handle)
+        for stack in self.stacks:
+            stack.vfs.close(stack.ctx, stack.fds.pop(handle))
+
+    @rule(path=st.sampled_from(PATHS), size=st.integers(0, 32 << 10))
+    def truncate(self, path, size):
+        expected = outcome(self.ref.truncate, path, size)
+        self.check_all(expected, [
+            outcome(stack.vfs.truncate, stack.ctx, path, size)
+            for stack in self.stacks
+        ])
+
+    @rule(old=st.sampled_from(PATHS), new=st.sampled_from(PATHS))
+    def rename(self, old, new):
+        # Renaming over (or moving) a file some handle still has open
+        # drops an inode under a live descriptor; POSIX keeps such
+        # descriptors usable, the stacks reuse the inode -- out of the
+        # oracle's scope, like open-unlinked files.
+        if {old, new} & self.ref.open_paths():
+            return
+        expected = outcome(self.ref.rename, old, new)
+        self.check_all(expected, [
+            outcome(stack.vfs.rename, stack.ctx, old, new)
+            for stack in self.stacks
+        ])
+
+    @rule(path=st.sampled_from(PATHS))
+    def unlink(self, path):
+        if path in self.ref.open_paths():
+            return
+        expected = outcome(self.ref.unlink, path)
+        self.check_all(expected, [
+            outcome(stack.vfs.unlink, stack.ctx, path)
+            for stack in self.stacks
+        ])
+
+    # -- descriptor rules ------------------------------------------------
+
+    @rule(handle=handles, data=st.binary(min_size=1, max_size=2048))
+    def write(self, handle, data):
+        expected = outcome(self.ref.write, handle, data)
+        self.check_all(expected, [
+            outcome(stack.vfs.write, stack.ctx, stack.fds[handle], data)
+            for stack in self.stacks
+        ])
+
+    @rule(handle=handles,
+          iovecs=st.lists(st.binary(min_size=1, max_size=512),
+                          min_size=1, max_size=4))
+    def writev(self, handle, iovecs):
+        expected = outcome(self.ref.writev, handle, iovecs)
+        self.check_all(expected, [
+            outcome(stack.vfs.writev, stack.ctx, stack.fds[handle], iovecs)
+            for stack in self.stacks
+        ])
+
+    @rule(handle=handles, count=st.integers(0, 8 << 10))
+    def read(self, handle, count):
+        expected = outcome(self.ref.read, handle, count)
+        self.check_all(expected, [
+            outcome(stack.vfs.read, stack.ctx, stack.fds[handle], count)
+            for stack in self.stacks
+        ])
+
+    @rule(handle=handles, pos=st.integers(-512, 16 << 10),
+          whence=st.sampled_from([f.SEEK_SET, f.SEEK_CUR, f.SEEK_END]))
+    def lseek(self, handle, pos, whence):
+        expected = outcome(self.ref.lseek, handle, pos, whence)
+        self.check_all(expected, [
+            outcome(stack.vfs.lseek, stack.ctx, stack.fds[handle], pos,
+                    whence)
+            for stack in self.stacks
+        ])
+
+    @rule(handle=handles)
+    def fsync(self, handle):
+        for stack in self.stacks:
+            stack.vfs.fsync(stack.ctx, stack.fds[handle])
+
+    # -- the namespace itself must agree ---------------------------------
+
+    @invariant()
+    def namespaces_agree(self):
+        if not hasattr(self, "stacks"):
+            return
+        expected = sorted(self.ref.namespace)
+        for stack in self.stacks:
+            listing = sorted(
+                "/" + entry[0]
+                for entry in stack.vfs.readdir(stack.ctx, "/")
+            )
+            assert listing == expected, (stack.fs, listing, expected)
+
+    def teardown(self):
+        if not hasattr(self, "stacks"):
+            return
+        for path, file in self.ref.namespace.items():
+            for stack in self.stacks:
+                data = stack.vfs.read_file(stack.ctx, path)
+                assert data == bytes(file.data), (
+                    "%s: %r diverged (%d bytes vs %d)"
+                    % (stack.fs.__class__.__name__, path, len(data),
+                       len(file.data)))
+
+
+DifferentialOracle.TestCase.settings = settings(
+    max_examples=12, stateful_step_count=30, deadline=None,
+)
+TestDifferentialOracle = DifferentialOracle.TestCase
+
+
+# -- multi-threaded: disjoint files through the real scheduler -----------
+
+op_strategy = st.one_of(
+    st.tuples(st.just("write"), st.integers(0, 24 << 10),
+              st.integers(1, 4096), st.integers(0, 255)),
+    st.tuples(st.just("read"), st.integers(0, 24 << 10),
+              st.integers(1, 4096)),
+    st.tuples(st.just("truncate"), st.integers(0, 24 << 10)),
+    st.tuples(st.just("fsync"),),
+)
+
+
+def apply_ref(script):
+    """Replay one thread's script on the reference; returns (reads, data)."""
+    file = RefFile()
+    reads = []
+    for op in script:
+        if op[0] == "write":
+            _, offset, size, tag = op
+            file.pwrite(offset, bytes([tag]) * size)
+        elif op[0] == "read":
+            _, offset, count = op
+            reads.append(file.pread(offset, count))
+        elif op[0] == "truncate":
+            file.truncate(op[1])
+    return reads, bytes(file.data)
+
+
+def thread_body(vfs, tid, script, reads_out):
+    path = "/t%d" % tid
+
+    def body(ctx):
+        fd = vfs.open(ctx, path, f.O_CREAT | f.O_RDWR)
+        for op in script:
+            if op[0] == "write":
+                _, offset, size, tag = op
+                vfs.pwrite(ctx, fd, offset, bytes([tag]) * size)
+            elif op[0] == "read":
+                _, offset, count = op
+                reads_out.append(vfs.pread(ctx, fd, offset, count))
+            elif op[0] == "truncate":
+                vfs.truncate(ctx, path, op[1])
+            elif op[0] == "fsync":
+                vfs.fsync(ctx, fd)
+            yield
+        vfs.close(ctx, fd)
+
+    return body
+
+
+@settings(max_examples=10, deadline=None)
+@given(scripts=st.lists(st.lists(op_strategy, min_size=1, max_size=12),
+                        min_size=2, max_size=4))
+def test_threads_on_disjoint_files_match_reference(scripts):
+    """2-4 scheduler threads, each owning one file: whatever order the
+    scheduler interleaves them in, every stack's per-thread reads and
+    final file images equal the single-threaded reference replay."""
+    expected = [apply_ref(script) for script in scripts]
+    for fs_name in ORACLE_FS:
+        env = SimEnv()
+        fs, vfs = build_stack(env, fs_name, NVMMConfig(), 48 << 20)
+        sched = Scheduler(env)
+        observed_reads = [[] for _ in scripts]
+        for tid, script in enumerate(scripts):
+            sched.spawn("t%d" % tid,
+                        thread_body(vfs, tid, script, observed_reads[tid]))
+        sched.run()
+        verify = ExecContext(env, "verify", start_ns=sched.elapsed_ns())
+        for tid, (ref_reads, ref_data) in enumerate(expected):
+            assert observed_reads[tid] == ref_reads, (fs_name, tid)
+            got = vfs.read_file(verify, "/t%d" % tid)
+            assert got == ref_data, (fs_name, tid, len(got), len(ref_data))
