@@ -13,6 +13,7 @@ from repro.bench.experiments import (
     fig11_latency,
     fig12_traces,
     fig13_macro,
+    ring_batch,
     scale_threads,
 )
 
@@ -32,6 +33,7 @@ EXPERIMENTS = {
     "abl-policy": ablation_policies,
     "abl-watermark": ablation_watermarks,
     "scale": scale_threads,
+    "ring": ring_batch,
 }
 
 

@@ -28,6 +28,7 @@ from repro.core.buffer import WriteBuffer
 from repro.core.config import HiNFSConfig
 from repro.core.writeback import WritebackPool
 from repro.engine.errors import DeadlockError, ThreadDiagnostic
+from repro.engine.locks import VCompletion
 from repro.engine.stats import CAT_READ_ACCESS, CAT_WRITE_ACCESS
 from repro.fs.errors import IsADirectory, MediaError
 from repro.fs.pmfs.layout import block_addr
@@ -436,6 +437,41 @@ class HiNFS(PMFS):
         self.device.fence(ctx)
         self.env.stats.bump("hinfs_fsyncs")
 
+    def fdatasync(self, ctx, ino):
+        """fdatasync(2): flush the file's buffered data and fence.
+
+        Skips the Benefit Model's per-block sync pass and the
+        ``last_sync`` bookkeeping -- those drive the eager-persistence
+        heuristics, i.e. metadata a data-only sync need not touch."""
+        self._inode(ino)
+        self.flush_blocks(ctx, self.buffer.file_blocks(ino))
+        self.device.fence(ctx)
+        self.env.stats.bump("hinfs_fdatasyncs")
+
+    def sync_iter(self, ctx, req):
+        """OP_SYNC: foreground (eager) syncs keep the paper's serial
+        Section 3.3.2 flush; ring-async syncs overlap the dirty runs
+        across the NVMM writer slots and return a pending completion
+        that resolves at the slowest run's device-side end."""
+        if req.eager:
+            return super().sync_iter(ctx, req)
+        ino = req.ino
+        inode = self._inode(ino)
+        if not req.datasync:
+            for file_block in self.benefit.pending_blocks(ino):
+                self.benefit.on_sync(ino, file_block, ctx.now)
+        end = self.flush_blocks(ctx, self.buffer.file_blocks(ino),
+                                parallel=True, wait=False)
+        if not req.datasync:
+            inode.last_sync = ctx.now
+        self.device.fence(ctx)
+        self.env.stats.bump(
+            "hinfs_fdatasyncs" if req.datasync else "hinfs_fsyncs"
+        )
+        comp = VCompletion(self.env, name="hinfs.sync:%d" % ino)
+        comp.resolve(max(end or 0, ctx.now), 0)
+        return comp
+
     # ------------------------------------------------------------------
     # flush / discard machinery
     # ------------------------------------------------------------------
@@ -444,7 +480,8 @@ class HiNFS(PMFS):
         """Persist one buffered block and release it."""
         self.flush_blocks(ctx, [block])
 
-    def flush_blocks(self, ctx, blocks, parallel=False, record_errors=False):
+    def flush_blocks(self, ctx, blocks, parallel=False, record_errors=False,
+                     wait=True):
         """Persist a batch of buffered blocks to NVMM, then release them.
 
         ``parallel=True`` overlaps the dirty runs across the NVMM writer
@@ -452,6 +489,10 @@ class HiNFS(PMFS):
         writeback threads; the caller waits once for the slowest run.  A
         foreground fsync flushes serially (the syncing thread performs
         the ``N_cf`` cacheline flushes itself, Section 3.3.2).
+        ``wait=False`` (parallel only) skips that final wait and returns
+        the slowest run's device-side end time instead, for callers --
+        the ring's async fsync -- that surface it as a completion rather
+        than blocking on it.
 
         Deferred commits are appended only after the data is durable
         (ordered mode).  With CLFW only dirty cacheline runs are written;
@@ -505,8 +546,9 @@ class HiNFS(PMFS):
                 self.env.stats.bump("hinfs_wb_media_errors")
                 continue
             self.env.stats.bump("hinfs_flushed_lines", popcount(mask))
-        if ends:
-            ctx.sync_to(max(ends), CAT_WRITE_ACCESS)
+        end = max(ends) if ends else None
+        if ends and wait:
+            ctx.sync_to(end, CAT_WRITE_ACCESS)
         for block in blocks:
             if id(block) in failed:
                 # Data lost: complete the deferred commits (the metadata
@@ -517,6 +559,7 @@ class HiNFS(PMFS):
             block.bitmap.clean()
             self._complete_pending(ctx, block)
             self.buffer.evict(block)
+        return end
 
     def discard_block(self, ctx, block):
         """Drop a buffered block without writeback (unlink/truncate path:

@@ -62,6 +62,75 @@ class _VLockBase:
         return wait
 
 
+class VCompletion:
+    """A one-shot completion on the virtual timeline (``struct completion``).
+
+    A producer (file system, journal, writeback worker) resolves it with
+    a virtual timestamp and a value -- possibly a timestamp in the
+    *waiter's* future, e.g. the device-side end of an asynchronously
+    issued flush.  A consumer (the CQ reaper) calls :meth:`wait`, which
+    advances its clock to the resolve point exactly like a contended
+    lock: charged as *Others*, labelled for deadlock diagnostics, and
+    recorded as a phase on the enclosing trace span.
+
+    ``force_fn`` covers the io_uring-style progress guarantee: when a
+    reaper waits on a completion nobody has resolved yet (e.g. an async
+    fsync whose jbd2 commit is still pending), the force hook performs
+    the work inline on the waiter's context -- the analogue of a blocked
+    ``io_uring_enter`` driving the work itself rather than sleeping
+    forever.
+    """
+
+    __slots__ = ("env", "name", "done_at", "value", "error", "force_fn")
+
+    def __init__(self, env, name="vcompletion", force_fn=None):
+        self.env = env
+        self.name = name
+        #: Virtual time the completion resolved, or None while pending.
+        self.done_at = None
+        self.value = None
+        self.error = None
+        self.force_fn = force_fn
+
+    @property
+    def resolved(self):
+        return self.done_at is not None
+
+    def resolve(self, at_ns, value=None):
+        """Complete successfully at virtual time ``at_ns``."""
+        if self.done_at is None or at_ns > self.done_at:
+            self.done_at = at_ns
+        self.value = value
+        return self
+
+    def fail(self, at_ns, error):
+        """Complete with ``error`` at virtual time ``at_ns``."""
+        self.resolve(at_ns)
+        self.error = error
+        return self
+
+    def wait(self, ctx, layer=LAYER_LOCK):
+        """Block ``ctx`` (in virtual time) until resolved; returns the
+        value or raises the recorded error."""
+        if self.done_at is None and self.force_fn is not None:
+            fn, self.force_fn = self.force_fn, None
+            fn(ctx)
+        if self.done_at is None:
+            raise RuntimeError(
+                "wait on unresolved completion %r with no force hook"
+                % self.name
+            )
+        if self.done_at > ctx.now:
+            self.env.stats.bump("completion_waits")
+            self.env.stats.bump("completion_wait_ns", self.done_at - ctx.now)
+            with ctx.waiting("completion of %r" % self.name):
+                with ctx.layer(layer):
+                    ctx.sync_to(self.done_at, CAT_OTHERS)
+        if self.error is not None:
+            raise self.error
+        return self.value
+
+
 class VMutex(_VLockBase):
     """A mutual-exclusion lock on the virtual timeline."""
 

@@ -17,10 +17,15 @@ Three cooperating pieces:
 - :mod:`repro.faults.reqfault` -- request-targeted injection: fail the
   writeback of blocks last written by a specific
   :class:`repro.io.IORequest` id.
+- :mod:`repro.faults.ringfault` -- ring-targeted injection: fail the Nth
+  SQE a submission ring executes, or crash between the ops of a linked
+  chain.
 """
 
 from repro.faults.errseq import ErrseqMap
 from repro.faults.media import MediaFaultModel
 from repro.faults.reqfault import RequestFaultInjector
+from repro.faults.ringfault import RingCrash, RingFaultInjector
 
-__all__ = ["ErrseqMap", "MediaFaultModel", "RequestFaultInjector"]
+__all__ = ["ErrseqMap", "MediaFaultModel", "RequestFaultInjector",
+           "RingCrash", "RingFaultInjector"]

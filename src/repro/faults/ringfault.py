@@ -1,0 +1,69 @@
+"""Ring-targeted fault injection.
+
+The submission/completion ring (:mod:`repro.io.ring`) consults its
+``faults`` injector around every SQE it executes: ``before_op`` fires
+just before dispatch (raising :class:`~repro.fs.errors.MediaError` turns
+*that SQE* into a ``-EIO`` CQE and, via ``IOSQE_IO_LINK``, cancels the
+rest of its chain), and ``after_op`` fires after the SQE completed
+inline (its crash hook models power failing *between* the ops of a
+linked chain -- after the write's CQE exists but before the linked
+fsync ran).
+
+Arming is positional -- "fail the Nth SQE this ring executes" -- so
+tests and the crash-point explorer can ask precise questions about
+batch semantics without caring which request ids the workload happens
+to allocate.
+"""
+
+from repro.fs.errors import MediaError
+
+
+class RingCrash(Exception):
+    """Raised by the after-op crash hook; the test harness catches it
+    and snapshots/remounts, like the crash-point explorer's cut."""
+
+    def __init__(self, seq, sqe):
+        super().__init__("injected crash after ring op #%d (%s)"
+                         % (seq, sqe.syscall))
+        self.seq = seq
+        self.sqe = sqe
+
+
+class RingFaultInjector:
+    """Fails (or crashes after) specific SQEs by execution sequence.
+
+    ``fail_seqs`` are ring sequence numbers whose *execution* is
+    replaced by an injected EIO; ``crash_after_seq`` raises
+    :class:`RingCrash` right after that sequence number completes --
+    between it and whatever is linked behind it.
+    """
+
+    def __init__(self, fail_seqs=(), crash_after_seq=None, max_hits=None):
+        self._fail = set(fail_seqs)
+        self.crash_after_seq = crash_after_seq
+        #: Stop injecting failures after this many hits (None = unlimited).
+        self.max_hits = max_hits
+        self.hits = 0
+        #: Every ``(seq, syscall)`` this injector observed, for asserting
+        #: exactly which ops ran before a crash.
+        self.observed = []
+
+    def arm_fail(self, seq):
+        """Fail the SQE executed as sequence number ``seq``."""
+        self._fail.add(seq)
+        return self
+
+    def before_op(self, ctx, seq, sqe):
+        self.observed.append((seq, sqe.syscall))
+        if seq not in self._fail:
+            return
+        if self.max_hits is not None and self.hits >= self.max_hits:
+            return
+        self.hits += 1
+        ctx.env.stats.bump("ring_fault_injections")
+        raise MediaError("injected fault on ring op #%d (%s)"
+                         % (seq, sqe.syscall))
+
+    def after_op(self, ctx, seq, sqe):
+        if self.crash_after_seq is not None and seq == self.crash_after_seq:
+            raise RingCrash(seq, sqe)

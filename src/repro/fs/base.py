@@ -11,7 +11,7 @@ through :meth:`FileSystem.submit`, which dispatches to the per-fs
 methods remain as compatibility shims that build a single-iovec request.
 """
 
-from repro.io import OP_READ, OP_WRITE, IORequest
+from repro.io import OP_READ, OP_SYNC, OP_WRITE, IORequest
 
 ROOT_INO = 1
 
@@ -104,12 +104,18 @@ class FileSystem:
     def submit(self, ctx, req):
         """Execute one :class:`~repro.io.IORequest` against this fs.
 
-        Dispatches to :meth:`write_iter`/:meth:`read_iter`.  Writes
-        return the number of bytes written; reads return the flat bytes
-        (the VFS scatters them back into the caller's iovecs).
+        Dispatches to :meth:`write_iter`/:meth:`read_iter`/
+        :meth:`sync_iter`.  Writes return the number of bytes written;
+        reads return the flat bytes (the VFS scatters them back into the
+        caller's iovecs); sync requests return 0 -- or, when the request
+        allows it (``eager=False``), a pending
+        :class:`~repro.engine.locks.VCompletion` the submission ring
+        resolves into a CQE when the persist actually lands.
         """
         if req.op == OP_WRITE:
             return self.write_iter(ctx, req)
+        if req.op == OP_SYNC:
+            return self.sync_iter(ctx, req)
         return self.read_iter(ctx, req)
 
     def write_iter(self, ctx, req):
@@ -146,9 +152,33 @@ class FileSystem:
                         eager=eager)
         return self.write_iter(ctx, req)
 
+    def sync_iter(self, ctx, req):
+        """Execute one OP_SYNC request.
+
+        The base behaviour is fully synchronous: the fsync (or, with
+        ``req.datasync``, the fdatasync) work happens in the foreground
+        and 0 is returned.  File systems whose persist point genuinely
+        lands later (HiNFS async flushes, jbd2 commits) may -- when
+        ``req.eager`` is False -- return a pending
+        :class:`~repro.engine.locks.VCompletion` instead, letting the
+        ring complete the CQE at the persist's virtual time.
+        """
+        if req.datasync:
+            self.fdatasync(ctx, req.ino)
+        else:
+            self.fsync(ctx, req.ino)
+        return 0
+
     def fsync(self, ctx, ino):
         """Make all of the inode's data and metadata durable."""
         raise NotImplementedError
+
+    def fdatasync(self, ctx, ino):
+        """fdatasync(2): make the inode's *data* (and any metadata needed
+        to retrieve it, e.g. its size) durable; other metadata -- and on
+        the journaling stacks the metadata commit for pure overwrites --
+        may persist lazily.  The default is a full fsync."""
+        self.fsync(ctx, ino)
 
     def truncate(self, ctx, ino, new_size):
         """Grow or shrink the file to ``new_size`` bytes."""

@@ -1,45 +1,72 @@
-"""File-system error hierarchy (errno-style)."""
+"""File-system error hierarchy (errno-style).
+
+Each class carries its ``errno`` so the submission/completion ring can
+report failures as io_uring does (CQE ``res = -errno``) while the sync
+wrappers keep raising the exception object itself.
+"""
+
+import errno as _errno
 
 
 class FSError(Exception):
     """Base class for all file-system errors."""
 
+    errno = _errno.EIO
+
 
 class NotFound(FSError):
     """ENOENT: path or inode does not exist."""
+
+    errno = _errno.ENOENT
 
 
 class ExistsError(FSError):
     """EEXIST: attempt to create something that already exists."""
 
+    errno = _errno.EEXIST
+
 
 class NotADirectory(FSError):
     """ENOTDIR: a path component is not a directory."""
+
+    errno = _errno.ENOTDIR
 
 
 class IsADirectory(FSError):
     """EISDIR: file operation applied to a directory."""
 
+    errno = _errno.EISDIR
+
 
 class BadFileDescriptor(FSError):
     """EBADF: unknown, closed, or wrongly-opened file descriptor."""
+
+    errno = _errno.EBADF
 
 
 class NoSpace(FSError):
     """ENOSPC: the device ran out of blocks or inodes."""
 
+    errno = _errno.ENOSPC
+
 
 class InvalidArgument(FSError):
     """EINVAL: malformed offset, count, or flag combination."""
+
+    errno = _errno.EINVAL
 
 
 class NotEmpty(FSError):
     """ENOTEMPTY: directory removal with remaining entries."""
 
+    errno = _errno.ENOTEMPTY
+
 
 class ReadOnly(FSError):
     """EROFS / EBADF for writes: descriptor not opened for writing, or
     the mount has degraded to read-only (``errors=remount-ro``)."""
+
+    errno = _errno.EROFS
 
 
 class MediaError(FSError):

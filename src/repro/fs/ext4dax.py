@@ -11,6 +11,7 @@ metadata-heavy Varmail workload (Figure 7).
 """
 
 from repro.engine.clock import NS_PER_SEC
+from repro.engine.locks import VCompletion
 from repro.engine.stats import CAT_OTHERS
 from repro.fs.extfs.jbd2 import JBD2CommitTask, JBD2Journal
 from repro.fs.pmfs.pmfs import PMFS
@@ -37,6 +38,9 @@ class Ext4Dax(PMFS):
             commit_interval_ns=commit_interval_ns,
         )
         env.background.register(JBD2CommitTask(env, self.jbd2))
+        #: Inodes whose size grew since their last sync: the metadata
+        #: fdatasync(2) must still commit through jbd2.
+        self._size_dirty = set()
 
     def _write_journal_block(self, ctx, data):
         # Journal blocks land in NVMM directly (DAX has no block device),
@@ -99,8 +103,11 @@ class Ext4Dax(PMFS):
                        replaced_ino=replaced_ino)
 
     def write_iter(self, ctx, req):
+        size_before = self._inode(req.ino).size
         written = super().write_iter(ctx, req)
         if written:
+            if self._inode(req.ino).size > size_before:
+                self._size_dirty.add(req.ino)
             self._metadata_touch(ctx, (self._itable_block(req.ino),), ino=None)
         return written
 
@@ -108,7 +115,36 @@ class Ext4Dax(PMFS):
         self._metadata_touch(ctx, (self._itable_block(ino),
                                    self._BITMAP_BLOCK))
         super().truncate(ctx, ino, new_size)
+        self._size_dirty.add(ino)
 
     def fsync(self, ctx, ino):
         super().fsync(ctx, ino)
         self.jbd2.commit(ctx)
+        self._size_dirty.discard(ino)
+
+    def fdatasync(self, ctx, ino):
+        """fdatasync(2): data is already durable (direct access), so the
+        fence is all that's needed -- plus the jbd2 commit when the size
+        grew since the last sync."""
+        super().fdatasync(ctx, ino)
+        if ino in self._size_dirty:
+            self._size_dirty.discard(ino)
+            self.jbd2.commit(ctx)
+
+    def sync_iter(self, ctx, req):
+        """OP_SYNC: ring-async syncs fence in the foreground (data is
+        already in NVMM) and ride the jbd2 commit timeline for the
+        metadata; eager syncs commit inline as before."""
+        if req.eager:
+            return super().sync_iter(ctx, req)
+        ino = req.ino
+        self._inode(ino)
+        self.device.fence(ctx)
+        if req.datasync and ino not in self._size_dirty:
+            return VCompletion(
+                self.env, name="%s.fdatasync:%d" % (self.name, ino)
+            ).resolve(ctx.now, 0)
+        self._size_dirty.discard(ino)
+        return self.jbd2.commit_completion(
+            name="%s.fsync:%d" % (self.name, ino)
+        )

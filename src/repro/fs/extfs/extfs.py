@@ -11,6 +11,7 @@ import itertools
 
 from repro.blockdev.nvmmbd import NVMMBlockDevice
 from repro.engine.clock import NS_PER_SEC
+from repro.engine.locks import VCompletion
 from repro.engine.stats import CAT_OTHERS
 from repro.fs.base import FileStat, FileSystem, ROOT_INO, S_IFDIR, S_IFREG
 from repro.fs.errors import (
@@ -88,6 +89,9 @@ class Ext2(FileSystem):
         self._dirty_meta = set()
         self._meta_slots = {}
         self._reserved = reserved
+        #: Inodes whose *size* changed since their last sync: the one
+        #: piece of metadata fdatasync(2) must still make durable.
+        self._size_dirty = set()
 
     # -- helpers ------------------------------------------------------------
 
@@ -309,7 +313,9 @@ class Ext2(FileSystem):
             touched.append(page)
             pos += take
             view = view[take:]
-        inode.size = max(inode.size, offset + len(data))
+        if offset + len(data) > inode.size:
+            inode.size = offset + len(data)
+            self._size_dirty.add(ino)
         inode.mtime = ctx.now
         self._touch_metadata(ctx, (self._itable_block(ino),), ino=ino)
         self._balance_dirty(ctx)
@@ -320,7 +326,10 @@ class Ext2(FileSystem):
                 if page.dirty:
                     self._flush_page(ctx, page)
                     self.cache.mark_clean(page)
-            self._journal_commit(ctx)
+            # O_DSYNC overwrites leave the (clean-size) metadata commit
+            # to the periodic timeline; extending writes still commit.
+            if not req.datasync or ino in self._size_dirty:
+                self._journal_commit(ctx)
         return len(data)
 
     def _balance_dirty(self, ctx):
@@ -338,14 +347,32 @@ class Ext2(FileSystem):
                 self.env.stats.bump("balance_dirty_flushes")
 
     def fsync(self, ctx, ino):
-        inode = self._inode(ino)
-        for page in self.cache.dirty_pages_of(ino):
-            self._flush_page(ctx, page)
-            self.cache.mark_clean(page)
+        self._inode(ino)
+        self._flush_file_pages(ctx, ino)
         # fsync also writes the inode's metadata block (ext2 semantics).
         self._flush_metadata(ctx, [self._itable_block(ino)])
         self._journal_commit(ctx)
+        self._size_dirty.discard(ino)
         self.env.stats.bump("%s_fsyncs" % self.name)
+
+    def fdatasync(self, ctx, ino):
+        """fdatasync(2): flush the file's data pages; the inode block
+        (and on EXT4 the journal commit) is written only when the size
+        changed since the last sync -- a pure overwrite skips the
+        metadata traffic entirely, which is the whole point of the
+        call."""
+        self._inode(ino)
+        self._flush_file_pages(ctx, ino)
+        if ino in self._size_dirty:
+            self._size_dirty.discard(ino)
+            self._flush_metadata(ctx, [self._itable_block(ino)])
+            self._journal_commit(ctx)
+        self.env.stats.bump("%s_fdatasyncs" % self.name)
+
+    def _flush_file_pages(self, ctx, ino):
+        for page in self.cache.dirty_pages_of(ino):
+            self._flush_page(ctx, page)
+            self.cache.mark_clean(page)
 
     def truncate(self, ctx, ino, new_size):
         inode = self._inode(ino)
@@ -434,3 +461,27 @@ class Ext4(Ext2):
 
     def _journal_commit(self, ctx):
         self.jbd2.commit(ctx)
+
+    def sync_iter(self, ctx, req):
+        """OP_SYNC: eager (sync-wrapper) syncs commit jbd2 in the
+        foreground as before; ring-async syncs flush the data pages and
+        return a completion the next jbd2 commit resolves -- normally
+        the periodic 5 s commit timeline, or the reaper forcing the
+        commit itself when it blocks first."""
+        if req.eager:
+            return super().sync_iter(ctx, req)
+        ino = req.ino
+        self._inode(ino)
+        self._flush_file_pages(ctx, ino)
+        which = "fdatasyncs" if req.datasync else "fsyncs"
+        self.env.stats.bump("%s_%s" % (self.name, which))
+        if req.datasync and ino not in self._size_dirty:
+            # Data durable, size clean: nothing left to wait for.
+            return VCompletion(
+                self.env, name="%s.fdatasync:%d" % (self.name, ino)
+            ).resolve(ctx.now, 0)
+        self._size_dirty.discard(ino)
+        self._flush_metadata(ctx, [self._itable_block(ino)])
+        return self.jbd2.commit_completion(
+            name="%s.fsync:%d" % (self.name, ino)
+        )

@@ -15,6 +15,7 @@ Figure 13).
 
 from repro.engine.background import BackgroundTask
 from repro.engine.clock import NS_PER_SEC
+from repro.engine.locks import VCompletion
 from repro.nvmm.config import BLOCK_SIZE
 
 _ZERO_BLOCK = b"\0" * BLOCK_SIZE
@@ -35,6 +36,8 @@ class JBD2Journal:
         #: (ordered mode); the owning fs registers a flush callback.
         self._ordered_inos = set()
         self.ordered_flush_fn = None
+        #: Completions resolved by the next commit (async fsync CQEs).
+        self._waiters = []
 
     def dirty_metadata(self, ctx, block_ids, ino=None):
         """A handle: register metadata blocks this op dirties."""
@@ -44,9 +47,22 @@ class JBD2Journal:
         if len(self._blocks) >= self.max_blocks:
             self.commit(ctx)
 
+    def commit_completion(self, name="jbd2.commit"):
+        """A :class:`VCompletion` the next :meth:`commit` resolves.
+
+        Backs the ring's async fsync on the journaling stacks: the CQE
+        lands when the transaction actually commits -- usually the
+        periodic 5 s commit timeline.  A reaper that blocks first drives
+        the commit itself through the completion's force hook.
+        """
+        comp = VCompletion(self.env, name=name, force_fn=self.commit)
+        self._waiters.append(comp)
+        return comp
+
     def commit(self, ctx):
         """Write the running transaction's journal blocks."""
         if not self._blocks:
+            self._resolve_waiters(ctx)
             return 0
         if self.ordered_flush_fn is not None:
             for ino in sorted(self._ordered_inos):
@@ -58,7 +74,13 @@ class JBD2Journal:
         self._blocks.clear()
         self.env.stats.bump("jbd2_commits")
         self.env.stats.bump("jbd2_blocks", blocks)
+        self._resolve_waiters(ctx)
         return blocks
+
+    def _resolve_waiters(self, ctx):
+        waiters, self._waiters = self._waiters, []
+        for comp in waiters:
+            comp.resolve(ctx.now, 0)
 
     @property
     def pending_blocks(self):

@@ -9,6 +9,10 @@ O_APPEND = 0x400
 #: Synchronous writes: every write is an eager-persistent write
 #: (the paper's case (1) in Section 3.3.2).
 O_SYNC = 0x1000
+#: Synchronous *data* writes: like O_SYNC for the file's bytes, but
+#: metadata not needed to retrieve them (mtime, and on the journaling
+#: stacks the jbd2 commit for pure overwrites) may persist lazily.
+O_DSYNC = 0x2000
 
 # lseek(2) whence values.
 SEEK_SET = 0

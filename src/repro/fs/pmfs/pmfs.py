@@ -340,6 +340,13 @@ class PMFS(FileSystem):
         self._inode(ino)
         self.device.fence(ctx)
 
+    def fdatasync(self, ctx, ino):
+        """Identical ordering point -- spelled out (rather than the base
+        fsync fallback) so subclasses layering metadata journaling on
+        ``fsync`` don't drag the journal into a data-only sync."""
+        self._inode(ino)
+        self.device.fence(ctx)
+
     def truncate(self, ctx, ino, new_size):
         inode = self._inode(ino)
         if inode.is_dir:

@@ -23,10 +23,11 @@ slots, the journal) remain the only cross-file serialization.
 
 from contextlib import contextmanager
 
-from repro.engine.locks import InodeLockTable
+from repro.engine.locks import InodeLockTable, VCompletion
 from repro.fs import flags as f
 from repro.fs.base import ROOT_INO
-from repro.io import OP_READ, OP_WRITE, IORequest
+from repro.io import OP_READ, OP_SYNC, OP_WRITE, IORequest
+from repro.io import ring as uring
 from repro.fs.errors import (
     BadFileDescriptor,
     ExistsError,
@@ -90,6 +91,16 @@ class VFS:
         self.read_only = False
         self.ro_reason = None
         fs.wb_error_hook = self._on_async_media_error
+        #: Per-thread submission/completion rings (see :meth:`ring`).
+        self._rings = {}
+        #: THE dispatch table of the data path: every data syscall --
+        #: sync wrapper or batched ring submission -- executes through
+        #: exactly these handlers.
+        self.op_table = {
+            uring.IORING_OP_READV: self._op_readv,
+            uring.IORING_OP_WRITEV: self._op_writev,
+            uring.IORING_OP_FSYNC: self._op_fsync,
+        }
         if fs.degraded_reason:
             self._remount_ro(fs.degraded_reason)
 
@@ -350,49 +361,98 @@ class VFS:
         except NotFound:
             return False
 
-    # -- data syscalls ------------------------------------------------------
+    # -- the submission/completion ring and its dispatch table -------------
     #
-    # Every variant funnels into _preadv/_pwritev, which build ONE
-    # IORequest per syscall and submit it to the fs under the request's
-    # trace span.  ``name`` keeps the per-syscall breakdown buckets
-    # (read/write vs readv/writev/...) distinct.
+    # The ring IS the data path: every data syscall below is a batch of
+    # one submitted through :meth:`ring`, executed by the handlers in
+    # ``op_table`` (one IORequest per SQE, submitted to the fs under the
+    # request's trace span).  Workloads batching many SQEs per submit
+    # pay the ``T_syscall`` mode switch once per batch instead of once
+    # per op; the handlers and their accounting are identical either
+    # way.
 
-    def _preadv(self, ctx, fd, offset, sizes, name="readv"):
-        """Scatter-read ``sizes`` bytes from ``offset`` as one request;
-        returns the list of per-iovec buffers (short at EOF)."""
-        file = self._file(fd)
+    def ring(self, ctx, sq_depth=64):
+        """This thread's :class:`repro.io.ring.IORing` (lazily created)."""
+        ring = self._rings.get(ctx)
+        if ring is None:
+            ring = uring.IORing(self, ctx, sq_depth=sq_depth)
+            self._rings[ctx] = ring
+        return ring
+
+    def _submit_sync(self, ctx, sqe):
+        """The sync-syscall wrapper: one batch of one SQE, reaped
+        immediately; failures re-raise the operation's exception."""
+        cqe = self.ring(ctx).submit_reaping([sqe])[0]
+        if cqe.error is not None:
+            raise cqe.error
+        return cqe.value
+
+    def _submit_batch(self, ctx, sqes):
+        """Submit ``sqes`` as one batch and reap them all; raises the
+        first real failure (link cancellations ride behind it)."""
+        cqes = self.ring(ctx).submit_reaping(sqes)
+        for cqe in cqes:
+            if cqe.error is not None and cqe.res != -uring.ECANCELED:
+                raise cqe.error
+        return cqes
+
+    def _op_readv(self, ctx, sqe, ring):
+        """Dispatch-table handler: scatter read (read/pread/readv/preadv).
+
+        ``sqe.offset is None`` means read(2) semantics: start at the
+        descriptor's position and advance it."""
+        file = self._file(sqe.fd)
         if not f.readable(file.flags):
-            raise ReadOnly("fd %d not open for reading" % fd)
+            raise ReadOnly("fd %d not open for reading" % sqe.fd)
+        positional = sqe.offset is None
+        offset = file.pos if positional else sqe.offset
+        sizes = [int(count) for count in sqe.iovecs]
         if offset < 0 or any(count < 0 for count in sizes):
             raise InvalidArgument("negative offset/count")
         req = IORequest(
             self.env.next_req_id(), OP_READ, file.ino, sizes, offset,
-            flags=file.flags, syscall=name,
+            flags=file.flags, syscall=sqe.syscall,
         )
-        with ctx.syscall(name, req=req):
-            self._syscall_entry(ctx)
+        with ctx.syscall(sqe.syscall, req=req):
+            ring.charge_entry(ctx)
             with self.ilocks.read_locked(ctx, file.ino):
                 with self._media_guard(), ctx.layer("fs"):
                     data = self.fs.submit(ctx, req)
             self.env.stats.ops_completed += 1
-            return req.scatter(data)
+            bufs = req.scatter(data)
+        if positional:
+            file.pos += len(data)
+        return len(data), bufs
 
-    def _pwritev(self, ctx, fd, offset, iovecs, name="writev"):
-        """Gather-write ``iovecs`` at ``offset`` as one request; returns
-        the number of bytes written."""
-        file = self._file(fd)
+    def _op_writev(self, ctx, sqe, ring):
+        """Dispatch-table handler: gather write (write/pwrite/writev/
+        pwritev).  ``sqe.offset is None`` means write(2) semantics:
+        write at the descriptor's position (honouring O_APPEND) and
+        advance it."""
+        file = self._file(sqe.fd)
         if not f.writable(file.flags):
-            raise ReadOnly("fd %d not open for writing" % fd)
+            raise ReadOnly("fd %d not open for writing" % sqe.fd)
+        positional = sqe.offset is None
+        if positional:
+            if file.flags & f.O_APPEND:
+                file.pos = self.fs.getattr(ctx, file.ino).size
+            offset = file.pos
+        else:
+            offset = sqe.offset
         if offset < 0:
             raise InvalidArgument("negative offset")
         self._check_writable("write to %r" % file.path)
-        eager = self.sync_mount or bool(file.flags & f.O_SYNC)
-        req = IORequest(
-            self.env.next_req_id(), OP_WRITE, file.ino, iovecs, offset,
-            flags=file.flags, eager=eager, syscall=name,
+        eager = self.sync_mount or bool(file.flags & (f.O_SYNC | f.O_DSYNC))
+        datasync = bool(
+            eager and not self.sync_mount and not file.flags & f.O_SYNC
         )
-        with ctx.syscall(name, req=req):
-            self._syscall_entry(ctx)
+        req = IORequest(
+            self.env.next_req_id(), OP_WRITE, file.ino, sqe.iovecs, offset,
+            flags=file.flags, eager=eager, datasync=datasync,
+            syscall=sqe.syscall,
+        )
+        with ctx.syscall(sqe.syscall, req=req):
+            ring.charge_entry(ctx)
             with self.ilocks.write_locked(ctx, file.ino):
                 with self._media_guard(), ctx.layer("fs"):
                     written = self.fs.submit(ctx, req)
@@ -404,67 +464,31 @@ class VFS:
                 self._unsynced_bytes[file.ino] = (
                     self._unsynced_bytes.get(file.ino, 0) + written
                 )
-            return written
+        if positional:
+            file.pos += written
+        return written, written
 
-    def read(self, ctx, fd, count):
-        """read(2) at the descriptor's position."""
-        file = self._file(fd)
-        data = self.pread(ctx, fd, file.pos, count)
-        file.pos += len(data)
-        return data
+    def _op_fsync(self, ctx, sqe, ring):
+        """Dispatch-table handler: fsync/fdatasync.
 
-    def pread(self, ctx, fd, offset, count):
-        """pread(2): positioned single-buffer read."""
-        return self._preadv(ctx, fd, offset, [count], name="read")[0]
-
-    def readv(self, ctx, fd, sizes):
-        """readv(2): scatter-read at the descriptor's position."""
-        file = self._file(fd)
-        bufs = self._preadv(ctx, fd, file.pos, list(sizes))
-        file.pos += sum(len(buf) for buf in bufs)
-        return bufs
-
-    def preadv(self, ctx, fd, offset, sizes):
-        """preadv(2): positioned scatter read."""
-        return self._preadv(ctx, fd, offset, list(sizes), name="preadv")
-
-    def write(self, ctx, fd, data):
-        """write(2) at the descriptor's position (honours O_APPEND)."""
-        file = self._file(fd)
-        if file.flags & f.O_APPEND:
-            file.pos = self.fs.getattr(ctx, file.ino).size
-        written = self.pwrite(ctx, fd, file.pos, data)
-        file.pos += written
-        return written
-
-    def pwrite(self, ctx, fd, offset, data):
-        """pwrite(2): positioned single-buffer write."""
-        return self._pwritev(ctx, fd, offset, [bytes(data)], name="write")
-
-    def writev(self, ctx, fd, iovecs):
-        """writev(2) at the descriptor's position (honours O_APPEND).
-
-        The whole iovec list is ONE request: one syscall-overhead
-        charge, one fs submission, one eager/lazy decision below.
-        """
-        file = self._file(fd)
-        if file.flags & f.O_APPEND:
-            file.pos = self.fs.getattr(ctx, file.ino).size
-        written = self._pwritev(ctx, fd, file.pos, list(iovecs))
-        file.pos += written
-        return written
-
-    def pwritev(self, ctx, fd, offset, iovecs):
-        """pwritev(2): positioned gather write."""
-        return self._pwritev(ctx, fd, offset, list(iovecs), name="pwritev")
-
-    def fsync(self, ctx, fd):
-        with ctx.syscall("fsync"):
-            self._syscall_entry(ctx)
-            file = self._file(fd)
+        Builds an OP_SYNC request for the fs.  With ``IOSQE_ASYNC`` the
+        fs may return a pending completion (resolved when the persist
+        lands -- an async flush's device end, a jbd2 commit); the ring
+        turns it into a CQE at reap time.  Without it (the sync-wrapper
+        path) the flush is fully foreground."""
+        datasync = bool(sqe.fsync_flags & uring.IORING_FSYNC_DATASYNC)
+        token = None
+        with ctx.syscall(sqe.syscall):
+            ring.charge_entry(ctx)
+            file = self._file(sqe.fd)
+            req = IORequest(
+                self.env.next_req_id(), OP_SYNC, file.ino, [], 0,
+                flags=file.flags, eager=not sqe.flags & uring.IOSQE_ASYNC,
+                datasync=datasync, syscall=sqe.syscall,
+            )
             with self.ilocks.write_locked(ctx, file.ino):
                 with self._media_guard(), ctx.layer("fs"):
-                    self.fs.fsync(ctx, file.ino)
+                    token = self.fs.submit(ctx, req)
             self.env.stats.ops_completed += 1
             self.env.stats.bump(
                 "app_bytes_fsynced", self._unsynced_bytes.pop(file.ino, 0)
@@ -473,6 +497,62 @@ class VFS:
             # reported by the first fsync after it was recorded -- exactly
             # once per fd (errseq semantics).
             self._check_wb_error(file)
+        if isinstance(token, VCompletion):
+            return token
+        return 0, 0
+
+    # -- data syscalls: thin submit-and-wait wrappers ---------------------
+
+    def read(self, ctx, fd, count):
+        """read(2) at the descriptor's position."""
+        return self._submit_sync(ctx, uring.prep_read(fd, count))[0]
+
+    def pread(self, ctx, fd, offset, count):
+        """pread(2): positioned single-buffer read."""
+        return self._submit_sync(ctx, uring.prep_read(fd, count, offset))[0]
+
+    def readv(self, ctx, fd, sizes):
+        """readv(2): scatter-read at the descriptor's position."""
+        return self._submit_sync(ctx, uring.prep_readv(fd, list(sizes)))
+
+    def preadv(self, ctx, fd, offset, sizes):
+        """preadv(2): positioned scatter read."""
+        return self._submit_sync(
+            ctx, uring.prep_readv(fd, list(sizes), offset, syscall="preadv")
+        )
+
+    def write(self, ctx, fd, data):
+        """write(2) at the descriptor's position (honours O_APPEND)."""
+        return self._submit_sync(ctx, uring.prep_write(fd, data))
+
+    def pwrite(self, ctx, fd, offset, data):
+        """pwrite(2): positioned single-buffer write."""
+        return self._submit_sync(ctx, uring.prep_write(fd, data, offset))
+
+    def writev(self, ctx, fd, iovecs):
+        """writev(2) at the descriptor's position (honours O_APPEND).
+
+        The whole iovec list is ONE request: one syscall-overhead
+        charge, one fs submission, one eager/lazy decision below.
+        """
+        return self._submit_sync(ctx, uring.prep_writev(fd, list(iovecs)))
+
+    def pwritev(self, ctx, fd, offset, iovecs):
+        """pwritev(2): positioned gather write."""
+        return self._submit_sync(
+            ctx, uring.prep_writev(fd, list(iovecs), offset,
+                                   syscall="pwritev")
+        )
+
+    def fsync(self, ctx, fd):
+        """fsync(2): the file's data and metadata are durable on return."""
+        self._submit_sync(ctx, uring.prep_fsync(fd))
+
+    def fdatasync(self, ctx, fd):
+        """fdatasync(2): the file's data (and the metadata needed to read
+        it back) is durable on return; clean-metadata commits are
+        skipped."""
+        self._submit_sync(ctx, uring.prep_fsync(fd, datasync=True))
 
     def truncate(self, ctx, path, new_size):
         with ctx.syscall("truncate"):
@@ -549,8 +629,10 @@ class VFS:
         if size == 0:
             self.close(ctx, fd)
             return b""
-        sizes = [min(chunk, size - start) for start in range(0, size, chunk)]
-        bufs = self._preadv(ctx, fd, 0, sizes, name="read")
+        sizes = self._chunk_sizes(size, chunk)
+        bufs = self._submit_sync(
+            ctx, uring.prep_readv(fd, sizes, 0, syscall="read")
+        )
         self.close(ctx, fd)
         return b"".join(bufs)
 
@@ -558,17 +640,30 @@ class VFS:
         """Create/overwrite ``path`` with ``data``.
 
         The payload goes down as ONE gather-write request with
-        ``chunk``-sized iovecs, not a loop of N accounted writes.
+        ``chunk``-sized iovecs, not a loop of N accounted writes.  With
+        ``sync=True`` the write and its fsync travel as ONE linked
+        two-SQE batch (write -> IOSQE_IO_LINK -> fsync), so the pair
+        pays a single syscall entry.
         """
         fd = self.open(ctx, path, f.O_RDWR | f.O_CREAT | f.O_TRUNC)
         data = bytes(data)
         if data:
             iovecs = [data[start : start + chunk]
                       for start in range(0, len(data), chunk)]
-            self._pwritev(ctx, fd, 0, iovecs, name="write")
-        if sync:
+            write_sqe = uring.prep_writev(fd, iovecs, 0, syscall="write")
+            if sync:
+                write_sqe.flags |= uring.IOSQE_IO_LINK
+                self._submit_batch(ctx, [write_sqe, uring.prep_fsync(fd)])
+            else:
+                self._submit_sync(ctx, write_sqe)
+        elif sync:
             self.fsync(ctx, fd)
         self.close(ctx, fd)
+
+    @staticmethod
+    def _chunk_sizes(size, chunk):
+        """Iovec sizes covering ``size`` bytes in ``chunk``-sized pieces."""
+        return [min(chunk, size - start) for start in range(0, size, chunk)]
 
     # -- lifecycle ---------------------------------------------------------
 

@@ -6,6 +6,6 @@ buffer/writeback -> NVMM) as a single object, kiocb-style, instead of a
 positional ``(ino, offset, data, eager)`` tuple.
 """
 
-from repro.io.request import OP_READ, OP_WRITE, IORequest
+from repro.io.request import OP_READ, OP_SYNC, OP_WRITE, IORequest
 
-__all__ = ["IORequest", "OP_READ", "OP_WRITE"]
+__all__ = ["IORequest", "OP_READ", "OP_SYNC", "OP_WRITE"]

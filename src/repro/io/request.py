@@ -20,30 +20,44 @@ Iovec conventions (matching ``struct iovec`` semantics):
 
 OP_READ = "read"
 OP_WRITE = "write"
+#: fsync/fdatasync travelling the same pipeline as data requests: no
+#: payload (empty iovec list), ``datasync`` selects the data-only
+#: variant, and :meth:`repro.fs.base.FileSystem.submit` may return a
+#: pending :class:`repro.engine.locks.VCompletion` instead of a result.
+OP_SYNC = "sync"
 
 
 class IORequest:
     """One in-flight data-path operation crossing the layer stack."""
 
     __slots__ = ("req_id", "op", "ino", "iovecs", "offset", "flags",
-                 "eager", "syscall", "span")
+                 "eager", "datasync", "syscall", "span")
 
     def __init__(self, req_id, op, ino, iovecs, offset, flags=0,
-                 eager=False, syscall=None):
-        if op not in (OP_READ, OP_WRITE):
+                 eager=False, datasync=False, syscall=None):
+        if op not in (OP_READ, OP_WRITE, OP_SYNC):
             raise ValueError("unknown request op %r" % (op,))
         self.req_id = req_id
         self.op = op
         self.ino = ino
         if op == OP_WRITE:
             self.iovecs = [bytes(vec) for vec in iovecs]
-        else:
+        elif op == OP_READ:
             self.iovecs = [int(count) for count in iovecs]
+        else:
+            if iovecs:
+                raise ValueError("sync requests carry no iovecs")
+            self.iovecs = []
         self.offset = offset
         self.flags = flags
         #: Synchronous-persistence policy (O_SYNC / ``mount -o sync``):
-        #: the whole request is durable when ``submit`` returns.
+        #: the whole request is durable when ``submit`` returns.  For
+        #: OP_SYNC requests it means "do the flush in the foreground";
+        #: without it the fs may hand back a pending completion instead.
         self.eager = eager
+        #: Data-only persistence (fdatasync / O_DSYNC): metadata not
+        #: needed to retrieve the data may stay volatile.
+        self.datasync = datasync
         #: Syscall name this request was built for (``write``/``writev``
         #: /...); feeds the per-syscall breakdown and the trace span.
         self.syscall = syscall or op

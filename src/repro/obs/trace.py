@@ -25,6 +25,14 @@ LAYER_WRITEBACK = "writeback"
 LAYER_NVMM = "nvmm"
 #: Contended virtual-lock waits (see :mod:`repro.engine.locks`).
 LAYER_LOCK = "lock"
+#: The submission/completion ring (see :mod:`repro.io.ring`): batch
+#: submission spans and reaper waits.  Sub-phases break a batched SQE's
+#: life down into time queued in the SQ before execution, execution
+#: itself, and time the reaper spent blocked on the CQ.
+LAYER_RING = "ring"
+RING_SQ_WAIT = "ring.sq_wait"
+RING_IN_FLIGHT = "ring.in_flight"
+RING_CQ_WAIT = "ring.cq_wait"
 
 
 class Span:

@@ -2,9 +2,14 @@
 
 Random reads and writes at a fixed I/O size against one pre-allocated
 file, with a configurable read:write ratio (the paper uses 1:2).
+
+:class:`RingFioWorkload` drives the same op stream through the
+submission/completion ring at a configurable batch depth instead of one
+syscall per op -- the amortization experiment (``hinfs-bench ring``).
 """
 
 from repro.fs import flags as f
+from repro.io import ring as uring
 from repro.workloads.base import Workload, payload
 
 
@@ -47,6 +52,65 @@ class FioWorkload(Workload):
                 if self.fsync_every and (op + 1) % self.fsync_every == 0:
                     vfs.fsync(ctx, fd)
                 yield
+            vfs.close(ctx, fd)
+
+        return body
+
+
+class RingFioWorkload(FioWorkload):
+    """The fio op stream driven through the submission ring in batches.
+
+    Offsets, read/write mix, and fsync pacing are identical to
+    :class:`FioWorkload` at the same seed -- only the submission
+    granularity changes.  Runs at different ``batch_depth`` therefore
+    execute the same ops and differ purely in how often the
+    ``T_syscall`` entry is paid (once per batch) and in whether fsync
+    completions may defer to their persist point (``IOSQE_ASYNC``).
+    """
+
+    name = "fio-ring"
+
+    def __init__(self, batch_depth=8, async_fsync=True, **kwargs):
+        super().__init__(**kwargs)
+        self.batch_depth = int(batch_depth)
+        if self.batch_depth < 1:
+            raise ValueError("batch_depth must be >= 1")
+        #: Mark fsync SQEs IOSQE_ASYNC: the fs may defer their CQE to
+        #: the persist point instead of blocking inside the handler.
+        self.async_fsync = bool(async_fsync)
+
+    def make_thread_body(self, vfs, thread_id):
+        rng = self.rng(thread_id)
+        max_offset = max(1, self.file_size - self.io_size)
+        chunk = payload(self.io_size, tag=thread_id + 1)
+        fsync_flags = uring.IOSQE_ASYNC if self.async_fsync else 0
+
+        def body(ctx):
+            fd = vfs.open(ctx, self.path(thread_id), f.O_RDWR)
+            # A paced fsync rides in its op's batch, so the SQ must hold
+            # one SQE more than the nominal depth.
+            ring = vfs.ring(ctx, sq_depth=max(64, self.batch_depth + 1))
+            batch = []
+
+            def flush_batch():
+                for cqe in ring.submit_and_wait(batch):
+                    if cqe.error is not None:
+                        raise cqe.error
+                del batch[:]
+
+            for op in range(self.ops_per_thread):
+                offset = rng.randrange(max_offset)
+                if rng.random() < self.read_fraction:
+                    batch.append(uring.prep_read(fd, self.io_size, offset))
+                else:
+                    batch.append(uring.prep_write(fd, chunk, offset))
+                if self.fsync_every and (op + 1) % self.fsync_every == 0:
+                    batch.append(uring.prep_fsync(fd, flags=fsync_flags))
+                if len(batch) >= self.batch_depth:
+                    flush_batch()
+                yield
+            if batch:
+                flush_batch()
             vfs.close(ctx, fd)
 
         return body

@@ -77,7 +77,7 @@ def test_sync_mount_makes_writes_eager():
 def test_registry_lists_every_paper_figure():
     assert set(EXPERIMENTS) == {
         "fig1", "fig2", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
-        "fig12", "fig13", "abl-policy", "abl-watermark", "scale",
+        "fig12", "fig13", "abl-policy", "abl-watermark", "scale", "ring",
     }
     for module in EXPERIMENTS.values():
         assert hasattr(module, "run")

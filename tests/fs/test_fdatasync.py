@@ -1,0 +1,145 @@
+"""fdatasync(2) and O_DSYNC: data durability without the metadata bill.
+
+The counters tell the two calls apart: a pure overwrite followed by
+fdatasync flushes the data but skips the inode-block write and (on the
+journaling stacks) the jbd2 commit that the same workload's fsync pays;
+an *extending* write dirties the size, which fdatasync must still make
+durable, so there it commits like fsync.
+"""
+
+import pytest
+
+from repro.bench.runner import build_stack
+from repro.engine.context import ExecContext
+from repro.engine.env import SimEnv
+from repro.fs import flags as f
+from repro.nvmm.config import NVMMConfig
+
+
+class Rig:
+    def __init__(self, fs_name):
+        self.env = SimEnv()
+        self.config = NVMMConfig()
+        self.fs, self.vfs = build_stack(self.env, fs_name, self.config,
+                                        48 << 20)
+        self.ctx = ExecContext(self.env, "fdatasync-test")
+
+    def count(self, name):
+        return self.env.stats.count(name)
+
+    def settled_file(self, path="/f", size=8192):
+        """A file whose size and metadata are already durable."""
+        fd = self.vfs.open(self.ctx, path, f.O_CREAT | f.O_RDWR)
+        self.vfs.pwrite(self.ctx, fd, 0, b"s" * size)
+        self.vfs.fsync(self.ctx, fd)
+        return fd
+
+
+@pytest.mark.parametrize("fs_name", ["ext4-nvmmbd", "ext4-dax"])
+def test_fdatasync_overwrite_skips_the_jbd2_commit(fs_name):
+    rig = Rig(fs_name)
+    fd = rig.settled_file()
+    commits = rig.count("jbd2_commits")
+    rig.vfs.pwrite(rig.ctx, fd, 0, b"o" * 4096)  # pure overwrite
+    rig.vfs.fdatasync(rig.ctx, fd)
+    assert rig.count("jbd2_commits") == commits
+    # The same sequence with fsync commits.
+    rig.vfs.pwrite(rig.ctx, fd, 0, b"p" * 4096)
+    rig.vfs.fsync(rig.ctx, fd)
+    assert rig.count("jbd2_commits") == commits + 1
+
+
+@pytest.mark.parametrize("fs_name", ["ext4-nvmmbd", "ext4-dax"])
+def test_fdatasync_extending_write_still_commits(fs_name):
+    rig = Rig(fs_name)
+    fd = rig.settled_file(size=4096)
+    commits = rig.count("jbd2_commits")
+    rig.vfs.pwrite(rig.ctx, fd, 4096, b"e" * 4096)  # grows the file
+    rig.vfs.fdatasync(rig.ctx, fd)
+    assert rig.count("jbd2_commits") == commits + 1
+    # ... exactly once: the size is durable now, so a second
+    # overwrite+fdatasync round is commit-free again.
+    rig.vfs.pwrite(rig.ctx, fd, 0, b"o" * 4096)
+    rig.vfs.fdatasync(rig.ctx, fd)
+    assert rig.count("jbd2_commits") == commits + 1
+
+
+def test_ext2_fdatasync_overwrite_skips_the_inode_block_write():
+    rig = Rig("ext2-nvmmbd")
+    fd = rig.settled_file()
+    ino = rig.vfs.fstat(rig.ctx, fd).ino
+    meta = rig.count("meta_block_writes")
+    rig.vfs.pwrite(rig.ctx, fd, 0, b"o" * 4096)
+    rig.vfs.fdatasync(rig.ctx, fd)
+    assert rig.count("meta_block_writes") == meta
+    assert rig.count("ext2_fdatasyncs") == 1
+    # The data itself did reach the device: no dirty pages remain.
+    assert list(rig.fs.cache.dirty_pages_of(ino)) == []
+    # fsync on the same state writes the inode block.
+    rig.vfs.pwrite(rig.ctx, fd, 0, b"p" * 4096)
+    rig.vfs.fsync(rig.ctx, fd)
+    assert rig.count("meta_block_writes") == meta + 1
+
+
+def test_hinfs_fdatasync_flushes_data_but_skips_sync_bookkeeping():
+    rig = Rig("hinfs")
+    # A fresh file: the Benefit Model buffers first-touch writes.
+    fd = rig.vfs.open(rig.ctx, "/lazy", f.O_CREAT | f.O_RDWR)
+    ino = rig.vfs.fstat(rig.ctx, fd).ino
+    rig.vfs.pwrite(rig.ctx, fd, 0, b"o" * 4096)
+    assert list(rig.fs.buffer.file_blocks(ino))
+    rig.vfs.fdatasync(rig.ctx, fd)
+    # Buffered data reached NVMM...
+    assert not list(rig.fs.buffer.file_blocks(ino))
+    # ... under the fdatasync counter, not the fsync one.
+    assert rig.count("hinfs_fdatasyncs") == 1
+    assert rig.count("hinfs_fsyncs") == 0
+
+
+def test_pmfs_fdatasync_is_an_ordering_point_like_fsync():
+    rig = Rig("pmfs")
+    fd = rig.settled_file()
+    before = rig.ctx.now
+    rig.vfs.fdatasync(rig.ctx, fd)
+    # Data is always durable on PMFS; both calls cost entry + fence.
+    fdatasync_ns = rig.ctx.now - before
+    before = rig.ctx.now
+    rig.vfs.fsync(rig.ctx, fd)
+    assert rig.ctx.now - before == fdatasync_ns
+
+
+def test_o_dsync_writes_are_eager_but_commit_free_on_overwrite():
+    rig = Rig("ext4-nvmmbd")
+    rig.settled_file()
+    fd = rig.vfs.open(rig.ctx, "/f", f.O_RDWR | f.O_DSYNC)
+    commits = rig.count("jbd2_commits")
+    rig.vfs.pwrite(rig.ctx, fd, 0, b"d" * 4096)
+    # Eager: the bytes count as fsynced the moment the write returns.
+    assert rig.count("app_bytes_fsynced") >= 4096
+    assert rig.count("jbd2_commits") == commits
+    # Extending O_DSYNC writes must still commit the new size.
+    rig.vfs.pwrite(rig.ctx, fd, 8192, b"e" * 4096)
+    assert rig.count("jbd2_commits") == commits + 1
+
+
+def test_o_sync_still_commits_every_write():
+    rig = Rig("ext4-nvmmbd")
+    rig.settled_file()
+    fd = rig.vfs.open(rig.ctx, "/f", f.O_RDWR | f.O_SYNC)
+    commits = rig.count("jbd2_commits")
+    rig.vfs.pwrite(rig.ctx, fd, 0, b"s" * 4096)
+    assert rig.count("jbd2_commits") == commits + 1
+
+
+def test_fdatasync_reports_deferred_writeback_errors():
+    """fdatasync is an error-reporting point exactly like fsync."""
+    from repro.fs.errors import MediaError
+
+    rig = Rig("hinfs")
+    fd = rig.settled_file()
+    ino = rig.vfs.fstat(rig.ctx, fd).ino
+    rig.fs.note_wb_error(ino)
+    with pytest.raises(MediaError):
+        rig.vfs.fdatasync(rig.ctx, fd)
+    # Reported exactly once per descriptor (errseq semantics).
+    rig.vfs.fdatasync(rig.ctx, fd)

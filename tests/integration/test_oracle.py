@@ -281,6 +281,46 @@ class DifferentialOracle(RuleBasedStateMachine):
         for stack in self.stacks:
             stack.vfs.fsync(stack.ctx, stack.fds[handle])
 
+    @rule(handle=handles)
+    def fdatasync(self, handle):
+        for stack in self.stacks:
+            stack.vfs.fdatasync(stack.ctx, stack.fds[handle])
+
+    # -- metadata reads --------------------------------------------------
+
+    @rule(path=st.sampled_from(PATHS))
+    def stat(self, path):
+        def ref_stat():
+            file = self.ref.namespace.get(path)
+            if file is None:
+                raise FSError(path)
+            return len(file.data)
+
+        expected = outcome(ref_stat)
+        self.check_all(expected, [
+            outcome(lambda s=stack: s.vfs.stat(s.ctx, path).size)
+            for stack in self.stacks
+        ])
+
+    @rule(handle=handles)
+    def fstat(self, handle):
+        file, _pos, _flags = self.ref.fds[handle]
+        expected = ("ok", len(file.data))
+        self.check_all(expected, [
+            outcome(lambda s=stack: s.vfs.fstat(s.ctx, s.fds[handle]).size)
+            for stack in self.stacks
+        ])
+
+    @rule()
+    def readdir(self):
+        expected = ("ok", sorted(self.ref.namespace))
+        self.check_all(expected, [
+            outcome(lambda s=stack: sorted(
+                "/" + name for name, _ino in s.vfs.readdir(s.ctx, "/")
+            ))
+            for stack in self.stacks
+        ])
+
     # -- the namespace itself must agree ---------------------------------
 
     @invariant()
