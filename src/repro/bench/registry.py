@@ -3,6 +3,7 @@
 from repro.bench.experiments import (
     ablation_policies,
     ablation_watermarks,
+    chaos_campaign,
     fig01_breakdown,
     fig02_fsync_bytes,
     fig06_model_accuracy,
@@ -34,6 +35,7 @@ EXPERIMENTS = {
     "abl-watermark": ablation_watermarks,
     "scale": scale_threads,
     "ring": ring_batch,
+    "chaos": chaos_campaign,
 }
 
 

@@ -481,7 +481,7 @@ class HiNFS(PMFS):
         self.flush_blocks(ctx, [block])
 
     def flush_blocks(self, ctx, blocks, parallel=False, record_errors=False,
-                     wait=True):
+                     wait=True, retry_policy=None):
         """Persist a batch of buffered blocks to NVMM, then release them.
 
         ``parallel=True`` overlaps the dirty runs across the NVMM writer
@@ -507,6 +507,12 @@ class HiNFS(PMFS):
         dropped and the failure is recorded against the inode's errseq --
         the next fsync/close of the file reports it (Linux writeback
         semantics: the data is lost, the error is not).
+
+        ``retry_policy`` (a :class:`repro.faults.policy.RetryPolicy`)
+        makes background writeback re-attempt a failed block with charged
+        backoff before declaring the acknowledged data lost -- only
+        meaningful with ``record_errors=True``; foreground callers raise
+        immediately so the syscall can report EIO.
         """
         ends = []
         failed = set()
@@ -519,33 +525,52 @@ class HiNFS(PMFS):
             if not mask:
                 continue
             dst_base = block_addr(block.nvmm_block)
-            try:
-                if injector is not None:
-                    # Request-targeted fault injection: fail the persist
-                    # of blocks last written by an armed request id.
-                    injector.check(block.last_req_id)
-                for start, nlines in iter_runs(mask):
-                    data = self.buffer.read_from(
-                        ctx, block, start * CACHELINE_SIZE,
-                        nlines * CACHELINE_SIZE
-                    )
-                    dst = dst_base + start * CACHELINE_SIZE
-                    if parallel:
-                        ends.append(
-                            self.device.write_persistent_async(ctx, dst, data)
+            attempt = 0
+            while True:
+                try:
+                    if injector is not None:
+                        # Request-targeted fault injection: fail the persist
+                        # of blocks last written by an armed request id.
+                        injector.check(block.last_req_id)
+                    for start, nlines in iter_runs(mask):
+                        data = self.buffer.read_from(
+                            ctx, block, start * CACHELINE_SIZE,
+                            nlines * CACHELINE_SIZE
                         )
-                    else:
-                        self.device.write_persistent(ctx, dst, data)
-            except MediaError:
-                if not record_errors:
-                    if ends:
-                        ctx.sync_to(max(ends), CAT_WRITE_ACCESS)
-                    raise
-                self.note_wb_error(block.ino)
-                failed.add(id(block))
-                self.env.stats.bump("hinfs_wb_media_errors")
-                continue
-            self.env.stats.bump("hinfs_flushed_lines", popcount(mask))
+                        dst = dst_base + start * CACHELINE_SIZE
+                        if parallel:
+                            ends.append(
+                                self.device.write_persistent_async(ctx, dst,
+                                                                   data)
+                            )
+                        else:
+                            self.device.write_persistent(ctx, dst, data)
+                except MediaError:
+                    if not record_errors:
+                        if ends:
+                            ctx.sync_to(max(ends), CAT_WRITE_ACCESS)
+                        raise
+                    attempt += 1
+                    if retry_policy is not None and \
+                            retry_policy.allows(attempt) and \
+                            not retry_policy.circuit_open(ctx.now):
+                        retry_policy.note_retry()
+                        self.env.stats.bump("wb_retries")
+                        ctx.charge(retry_policy.backoff_ns(attempt),
+                                   CAT_WRITE_ACCESS)
+                        continue
+                    if retry_policy is not None:
+                        retry_policy.record_failure(ctx.now)
+                    self.note_wb_error(block.ino)
+                    failed.add(id(block))
+                    self.env.stats.bump("hinfs_wb_media_errors")
+                    break
+                else:
+                    if attempt:
+                        retry_policy.record_success()
+                        self.env.stats.bump("wb_retry_successes")
+                    self.env.stats.bump("hinfs_flushed_lines", popcount(mask))
+                    break
         end = max(ends) if ends else None
         if ends and wait:
             ctx.sync_to(end, CAT_WRITE_ACCESS)

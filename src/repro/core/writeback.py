@@ -27,6 +27,7 @@ path.  Worker 0 runs on the pool's registered timeline (named
 
 from repro.engine.background import NEVER, BackgroundTask
 from repro.engine.context import ExecContext
+from repro.faults.policy import RetryPolicy
 from repro.obs.trace import LAYER_WRITEBACK
 
 
@@ -66,6 +67,17 @@ class WritebackPool(BackgroundTask):
             self.workers.append(WritebackWorker(wid, ctx, shards))
         self._next_periodic_ns = self.config.periodic_interval_ns
         self._pressure_ns = NEVER
+        #: The pool's unified retry policy for writeback EIO: transient
+        #: persist failures are re-attempted with charged backoff before
+        #: the acknowledged data is declared lost (errseq).  Shared across
+        #: workers so the circuit breaker sees the whole pool's failures.
+        self.retry_policy = RetryPolicy(
+            max_retries=2,
+            base_backoff_ns=hinfs.config.media_retry_backoff_ns,
+            multiplier=2.0,
+            jitter_frac=0.0,
+            breaker_threshold=8,
+        )
 
     @property
     def nr_workers(self):
@@ -204,7 +216,8 @@ class WritebackPool(BackgroundTask):
             }
         with ctx.span("wb:%s" % cause, layer=LAYER_WRITEBACK, meta=meta):
             self.hinfs.flush_blocks(ctx, victims, parallel=True,
-                                    record_errors=True)
+                                    record_errors=True,
+                                    retry_policy=self.retry_policy)
 
     def _reclaim_to_high(self):
         buffer = self.hinfs.buffer

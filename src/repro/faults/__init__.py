@@ -1,31 +1,43 @@
 """Deterministic fault injection for the simulated NVMM storage stack.
 
-Three cooperating pieces:
+Cooperating pieces:
 
 - :mod:`repro.faults.media` -- a seeded registry of bad / transiently
   failing NVMM cachelines, attached to :class:`repro.nvmm.device.NVMMDevice`;
   poisoned lines fail reads and persists with EIO
   (:class:`repro.fs.errors.MediaError`).
+- :mod:`repro.faults.policy` -- the unified :class:`RetryPolicy` every
+  retry loop in the stack shares: seeded exponential backoff with jitter,
+  a bounded attempt budget, and a circuit breaker that fails fast while a
+  component is saturated with errors.
 - :mod:`repro.faults.errseq` -- Linux ``errseq_t``-style tracking so an
   asynchronous writeback failure is reported by the *next* fsync/close of
   the file, exactly once per file descriptor.
 - :mod:`repro.faults.crashpoints` -- a CrashMonkey-style crash-state
   explorer: it records every persist event and flush/fence boundary of an
   operation sequence, reconstructs the NVMM image a power failure would
-  leave at each point (plus sampled uncontrolled-eviction subsets), then
-  replays recovery and checks file-system invariants.
+  leave at each point (plus sampled uncontrolled-eviction subsets and
+  torn lines where only some 8-byte words of a dirty cacheline persist),
+  then replays recovery and checks file-system invariants.
 - :mod:`repro.faults.reqfault` -- request-targeted injection: fail the
   writeback of blocks last written by a specific
   :class:`repro.io.IORequest` id.
 - :mod:`repro.faults.ringfault` -- ring-targeted injection: fail the Nth
   SQE a submission ring executes, or crash between the ops of a linked
   chain.
+- :mod:`repro.faults.chaos` -- seeded chaos campaigns that combine all of
+  the above against a live stack and prove recovery: scrub repairs or
+  isolates every fault, the mount-health FSM returns to HEALTHY, and a
+  differential oracle shows zero silent divergence.
 """
 
+from repro.faults.chaos import ChaosCampaign, run_all, run_campaign
 from repro.faults.errseq import ErrseqMap
 from repro.faults.media import MediaFaultModel
+from repro.faults.policy import RetryPolicy
 from repro.faults.reqfault import RequestFaultInjector
 from repro.faults.ringfault import RingCrash, RingFaultInjector
 
-__all__ = ["ErrseqMap", "MediaFaultModel", "RequestFaultInjector",
-           "RingCrash", "RingFaultInjector"]
+__all__ = ["ChaosCampaign", "ErrseqMap", "MediaFaultModel",
+           "RequestFaultInjector", "RetryPolicy", "RingCrash",
+           "RingFaultInjector", "run_all", "run_campaign"]

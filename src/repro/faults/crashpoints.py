@@ -49,6 +49,14 @@ from repro.workloads.base import payload
 EV_STORE = "store"      # volatile store into the CPU cache
 EV_PERSIST = "persist"  # bytes reached the persistence domain
 
+#: The architectural store-atomicity unit: an aligned 8-byte word always
+#: persists or vanishes as a unit (the guarantee PMFS's in-place commit
+#: relies on), but nothing larger does -- a crash mid-flush may leave any
+#: word subset of a cacheline behind.  The torn-write model samples
+#: exactly those states.
+WORD_SIZE = 8
+WORDS_PER_LINE = CACHELINE_SIZE // WORD_SIZE
+
 
 class TapeRecorder:
     """Observer that records the persistence tape of a region."""
@@ -119,10 +127,17 @@ class ShadowImage:
                 self.dirty.pop(line, None)
             self.image[addr:addr + len(data)] = data
 
-    def crash_image(self, evict_lines=()):
-        """Post-power-failure image; ``evict_lines`` persisted first."""
+    def crash_image(self, evict_lines=(), torn=None):
+        """Post-power-failure image; ``evict_lines`` persisted first.
+
+        ``torn`` maps a dirty line index to an 8-word bitmask: only the
+        selected aligned 8-byte words of that line reach persistence --
+        the sub-cacheline crash state a power failure mid-writeback
+        leaves behind.  Each word persists atomically; the rest of the
+        line keeps its old persistent bytes.
+        """
         image = bytes(self.image)
-        if not evict_lines:
+        if not evict_lines and not torn:
             return image
         image = bytearray(image)
         for line in evict_lines:
@@ -130,7 +145,47 @@ class ShadowImage:
             base = line * CACHELINE_SIZE
             end = min(base + CACHELINE_SIZE, len(image))
             image[base:end] = buf[: end - base]
+        if torn:
+            for line in sorted(torn):
+                buf = self.dirty[line]
+                mask = torn[line]
+                base = line * CACHELINE_SIZE
+                for word in range(WORDS_PER_LINE):
+                    if not mask >> word & 1:
+                        continue
+                    lo = base + word * WORD_SIZE
+                    hi = min(lo + WORD_SIZE, len(image))
+                    if lo < hi:
+                        image[lo:hi] = buf[word * WORD_SIZE:
+                                           word * WORD_SIZE + (hi - lo)]
         return bytes(image)
+
+    def torn_persist_image(self, event, word_mask, evict_lines=()):
+        """The crash state of ``event`` (the *next* EV_PERSIST on the
+        tape) tearing mid-flight: only the aligned 8-byte words selected
+        by ``word_mask`` (bit ``i`` = i-th word overlapping the event's
+        range) become durable on top of this prefix's crash image."""
+        kind, addr, data = event
+        if kind != EV_PERSIST:
+            raise ValueError("only persist events can tear")
+        image = bytearray(self.crash_image(evict_lines))
+        first_word = addr // WORD_SIZE
+        last_word = (addr + len(data) - 1) // WORD_SIZE
+        for i, word in enumerate(range(first_word, last_word + 1)):
+            if not word_mask >> i & 1:
+                continue
+            lo = max(addr, word * WORD_SIZE)
+            hi = min(addr + len(data), (word + 1) * WORD_SIZE)
+            image[lo:hi] = data[lo - addr:hi - addr]
+        return bytes(image)
+
+    @staticmethod
+    def persist_word_count(event):
+        """Aligned 8-byte words a persist event touches (tear candidates)."""
+        kind, addr, data = event
+        if kind != EV_PERSIST or not data:
+            return 0
+        return (addr + len(data) - 1) // WORD_SIZE - addr // WORD_SIZE + 1
 
 
 class Expectations:
@@ -162,13 +217,19 @@ class Expectations:
 class Violation:
     """One invariant failure at one reconstructed crash state."""
 
-    __slots__ = ("fs_kind", "op_index", "event_index", "evicted", "message")
+    __slots__ = ("fs_kind", "op_index", "event_index", "evicted", "torn",
+                 "message")
 
-    def __init__(self, fs_kind, op_index, event_index, evicted, message):
+    def __init__(self, fs_kind, op_index, event_index, evicted, message,
+                 torn=None):
         self.fs_kind = fs_kind
         self.op_index = op_index
         self.event_index = event_index
         self.evicted = tuple(evicted)
+        #: Torn-write description, or None: ``("persist", word_mask)`` for
+        #: a persist event torn mid-flight, ``("line", line, word_mask)``
+        #: for a dirty line partially evicted at word granularity.
+        self.torn = torn
         self.message = message
 
     def __str__(self):
@@ -176,6 +237,8 @@ class Violation:
                                        self.event_index)
         if self.evicted:
             where += " evicted=%s" % (list(self.evicted),)
+        if self.torn is not None:
+            where += " torn=%s" % (self.torn,)
         return "[%s] %s" % (where, self.message)
 
 
@@ -190,6 +253,7 @@ class ExplorationReport:
         self.states_checked = 0
         self.states_deduped = 0
         self.eviction_draws = {}  # op index -> sampled eviction subsets
+        self.torn_draws = {}      # op index -> sampled torn-write states
         #: op index -> (first_req_id, last_req_id) allocated while that
         #: op ran, so a crash point (or a RequestFaultInjector arm) can
         #: be mapped back to the specific in-flight request.
@@ -215,11 +279,12 @@ class ExplorationReport:
     def summary(self):
         return (
             "%s: %d ops, %d tape events, %d boundaries, %d states checked "
-            "(%d duplicates skipped), %d eviction subsets sampled, %d "
-            "violations"
+            "(%d duplicates skipped), %d eviction subsets sampled, %d torn "
+            "states sampled, %d violations"
             % (self.fs_kind, len(self.ops), self.events, self.boundaries,
                self.states_checked, self.states_deduped,
-               sum(self.eviction_draws.values()), len(self.failures))
+               sum(self.eviction_draws.values()),
+               sum(self.torn_draws.values()), len(self.failures))
         )
 
 
@@ -249,12 +314,21 @@ class CrashPointExplorer:
     """Run an op sequence, then test every crash state it could leave."""
 
     def __init__(self, fs_kind, seed=0, eviction_samples_per_op=64,
+                 torn_samples_per_op=16, journal_checksums=True,
                  device_bytes=4 << 20):
         if fs_kind not in ("pmfs", "hinfs"):
             raise ValueError("fs_kind must be 'pmfs' or 'hinfs'")
         self.fs_kind = fs_kind
         self.seed = seed
         self.eviction_samples_per_op = eviction_samples_per_op
+        #: Sub-cacheline crash states sampled per op: torn persist events
+        #: (a flush interrupted mid-line) and word-granular partial
+        #: evictions of dirty lines.
+        self.torn_samples_per_op = torn_samples_per_op
+        #: Journal entry CRCs on the explored stack.  ``False`` is the
+        #: negative control: the torn-write model must then catch
+        #: replayed garbage undo entries.
+        self.journal_checksums = journal_checksums
         self.device_bytes = device_bytes
         self._rng = random.Random(seed)
 
@@ -268,9 +342,11 @@ class CrashPointExplorer:
         # the whole ring, so the defaults would dominate the run time.
         if self.fs_kind == "hinfs":
             fs = HiNFS(env, device, config, journal_blocks=8, inode_count=64,
+                       journal_checksums=self.journal_checksums,
                        hconfig=HiNFSConfig(buffer_bytes=256 << 10))
         else:
-            fs = PMFS(env, device, config, journal_blocks=8, inode_count=64)
+            fs = PMFS(env, device, config, journal_blocks=8, inode_count=64,
+                      journal_checksums=self.journal_checksums)
         vfs = VFS(env, fs, config)
         return env, config, device, fs, vfs, ExecContext(env, "crashpoints")
 
@@ -281,9 +357,11 @@ class CrashPointExplorer:
         device.mem.load_snapshot(image)
         if self.fs_kind == "hinfs":
             fs = HiNFS.mount(env, device, config,
+                             journal_checksums=self.journal_checksums,
                              hconfig=HiNFSConfig(buffer_bytes=256 << 10))
         else:
-            fs = PMFS.mount(env, device, config)
+            fs = PMFS.mount(env, device, config,
+                            journal_checksums=self.journal_checksums)
         return device, fs, VFS(env, fs, config), ExecContext(env, "recovery")
 
     # -- the recorded run ---------------------------------------------
@@ -459,7 +537,56 @@ class CrashPointExplorer:
                 report.eviction_draws[op_index] += 1
                 self._check_eviction_draw(report, seen, shadow, k + 1,
                                           expect_at)
+
+        # Sub-cacheline (torn-write) states, per op: at seeded points
+        # inside each op's window, tear the next persist event mid-flight
+        # (a proper nonempty subset of its 8-byte words persists) and
+        # partially evict one dirty line at word granularity.  Persists
+        # of 8 bytes or less are atomic by architecture and never torn --
+        # that is exactly the in-place-commit assumption under test.
+        torn_points = {}
+        for op_index, start, end in op_windows:
+            report.torn_draws[op_index] = 0
+            if end <= start:
+                continue
+            for _ in range(self.torn_samples_per_op):
+                k = self._rng.randint(start, max(start, end - 1))
+                torn_points.setdefault(k, []).append(op_index)
+        shadow = ShadowImage(baseline)
+        for k in range(len(tape.events) + 1):
+            for op_index in torn_points.get(k, ()):
+                report.torn_draws[op_index] += 1
+                self._check_torn_draw(report, seen, shadow, tape, k,
+                                      expect_at)
+            if k < len(tape.events):
+                shadow.apply(tape.events[k])
         return report
+
+    def _word_mask(self, nwords):
+        """A seeded proper, nonempty word subset as a bitmask (full and
+        empty subsets are plain prefix states, already enumerated)."""
+        count = self._rng.randint(1, nwords - 1)
+        mask = 0
+        for word in self._rng.sample(range(nwords), count):
+            mask |= 1 << word
+        return mask
+
+    def _check_torn_draw(self, report, seen, shadow, tape, k, expect_at):
+        event = tape.events[k] if k < len(tape.events) else None
+        if event is not None:
+            nwords = ShadowImage.persist_word_count(event)
+            if nwords >= 2:
+                mask = self._word_mask(nwords)
+                image = shadow.torn_persist_image(event, mask)
+                self._check_image(report, seen, image, k, expect_at, (),
+                                  torn=("persist", mask))
+        dirty = sorted(shadow.dirty)
+        if dirty:
+            line = self._rng.choice(dirty)
+            mask = self._word_mask(WORDS_PER_LINE)
+            image = shadow.crash_image(torn={line: mask})
+            self._check_image(report, seen, image, k, expect_at, (),
+                              torn=("line", line, mask))
 
     def _check_eviction_draw(self, report, seen, shadow, k, expect_at):
         dirty = sorted(shadow.dirty)
@@ -471,7 +598,11 @@ class CrashPointExplorer:
         self._check_dedup(report, seen, shadow, k, expect_at, evicted)
 
     def _check_dedup(self, report, seen, shadow, k, expect_at, evicted):
-        image = shadow.crash_image(evicted)
+        self._check_image(report, seen, shadow.crash_image(evicted), k,
+                          expect_at, evicted)
+
+    def _check_image(self, report, seen, image, k, expect_at, evicted,
+                     torn=None):
         op_index, expect = expect_at(k)
         key = (hashlib.sha1(image).digest(), id(expect))
         if key in seen:
@@ -481,7 +612,8 @@ class CrashPointExplorer:
         report.states_checked += 1
         for message in self._check_state(image, expect):
             report.failures.append(
-                Violation(self.fs_kind, op_index, k, evicted, message)
+                Violation(self.fs_kind, op_index, k, evicted, message,
+                          torn=torn)
             )
 
     # -- invariants -----------------------------------------------------
@@ -607,12 +739,15 @@ class CrashPointExplorer:
 
 
 def run_crashcheck(fs_kinds=("pmfs", "hinfs"), seed=0,
-                   eviction_samples_per_op=64, ops=DEFAULT_OPS):
+                   eviction_samples_per_op=64, torn_samples_per_op=16,
+                   journal_checksums=True, ops=DEFAULT_OPS):
     """Explore every crash state of ``ops`` on each fs; returns reports."""
     return [
         CrashPointExplorer(
             kind, seed=seed,
             eviction_samples_per_op=eviction_samples_per_op,
+            torn_samples_per_op=torn_samples_per_op,
+            journal_checksums=journal_checksums,
         ).explore(ops)
         for kind in fs_kinds
     ]

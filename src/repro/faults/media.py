@@ -36,6 +36,19 @@ class MediaFaultModel:
         self.read_errors = 0
         self.persist_errors = 0
         self.retries = 0
+        # Environment whose SimStats mirrors the counters above (so fault
+        # activity shows up in `hinfs-bench trace` / --json, not only on
+        # this object).  Set by NVMMDevice.attach_faults.
+        self._env = None
+
+    def bind(self, env):
+        """Mirror fault counters into ``env.stats``; returns self."""
+        self._env = env
+        return self
+
+    def _bump(self, name):
+        if self._env is not None:
+            self._env.stats.bump(name)
 
     # -- registry ---------------------------------------------------------
 
@@ -63,6 +76,15 @@ class MediaFaultModel:
 
         Returns the poisoned line indices (deterministic per seed).
         """
+        if region_lines < 0:
+            raise ValueError("region_lines must be >= 0, got %d" % region_lines)
+        if not 0 <= nlines <= region_lines:
+            raise ValueError(
+                "cannot poison %d lines in a region of %d lines"
+                % (nlines, region_lines)
+            )
+        if nlines == 0:
+            return []
         lines = self._rng.sample(range(region_lines), nlines)
         for line in lines:
             self.poison_line(line)
@@ -84,6 +106,7 @@ class MediaFaultModel:
         bad = [line for line in self._lines_of(addr, length) if line in self._bad]
         if bad:
             self.read_errors += 1
+            self._bump("media_read_errors")
         return bad
 
     def probe_persist(self, addr, length):
@@ -105,12 +128,19 @@ class MediaFaultModel:
                 transient.append(line)
         if permanent or transient:
             self.persist_errors += 1
+            self._bump("media_persist_errors")
         return permanent, transient
+
+    def note_retry(self):
+        """The device is retrying a transiently-failed persist."""
+        self.retries += 1
+        self._bump("media_retries")
 
     def mark_bad(self, line):
         """Retry budget exhausted: the line is now permanently bad."""
         self._bad.add(line)
         self._transient.pop(line, None)
+        self._bump("media_lines_marked_bad")
 
     def __repr__(self):
         return "MediaFaultModel(bad=%d, transient=%d, errors=%d/%d)" % (

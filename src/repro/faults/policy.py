@@ -1,0 +1,147 @@
+"""The unified retry policy: one seeded backoff/budget/breaker primitive.
+
+Before this module, every layer that met a transient EIO rolled its own
+loop: ``nvmm/device.py`` retried persists inline, HiNFS's writeback
+dropped failed blocks on the floor, and a failed ring SQE simply
+completed with ``-EIO``.  A :class:`RetryPolicy` centralises the three
+decisions every such loop makes:
+
+- **Budget** -- how many retries before giving up (``max_retries``).
+- **Backoff** -- how long to wait (in *virtual* time) before attempt
+  ``n``: exponential with an optional seeded jitter fraction, so two
+  policies with the same seed back off identically and a run stays
+  bit-for-bit deterministic.
+- **Circuit breaker** -- after ``breaker_threshold`` *consecutive*
+  exhausted budgets, the circuit opens for ``breaker_cooldown_ns`` of
+  virtual time and every attempt fails fast; a success (or the cooldown
+  expiring) closes it again.  This is what keeps a writeback worker from
+  grinding its full backoff schedule against a permanently-dead line on
+  every batch.
+
+The policy only *decides*; the caller charges the returned backoff to
+its own :class:`~repro.engine.context.ExecContext` so the cost lands on
+the right thread's clock and breakdown category.
+"""
+
+import random
+
+
+class RetryPolicy:
+    """Seeded exponential-backoff-with-jitter retry budget + breaker."""
+
+    def __init__(self, max_retries=3, base_backoff_ns=1_000, multiplier=2.0,
+                 jitter_frac=0.0, seed=0, breaker_threshold=None,
+                 breaker_cooldown_ns=1_000_000):
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if base_backoff_ns < 0:
+            raise ValueError("base_backoff_ns must be >= 0")
+        if multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if not 0.0 <= jitter_frac <= 1.0:
+            raise ValueError("jitter_frac must be in [0, 1]")
+        self.max_retries = int(max_retries)
+        self.base_backoff_ns = int(base_backoff_ns)
+        self.multiplier = float(multiplier)
+        self.jitter_frac = float(jitter_frac)
+        self._rng = random.Random(seed)
+        #: Consecutive exhausted budgets that trip the breaker
+        #: (``None`` disables the breaker entirely).
+        self.breaker_threshold = breaker_threshold
+        self.breaker_cooldown_ns = int(breaker_cooldown_ns)
+        self._consecutive_failures = 0
+        self._open_until_ns = None
+        #: Lifetime observability.
+        self.retries = 0
+        self.gave_up = 0
+        self.breaker_trips = 0
+
+    # -- budget / backoff --------------------------------------------------
+
+    def allows(self, attempt):
+        """May retry number ``attempt`` (1-based) run at all?"""
+        return attempt <= self.max_retries
+
+    def backoff_ns(self, attempt):
+        """Virtual-time backoff before retry ``attempt`` (1-based).
+
+        Exponential in the attempt number; jitter (when configured) adds
+        a seeded fraction on top, never subtracts, so the deterministic
+        floor ``base * multiplier**(attempt-1)`` is preserved.
+        """
+        if attempt < 1:
+            raise ValueError("attempt is 1-based")
+        backoff = self.base_backoff_ns * self.multiplier ** (attempt - 1)
+        if self.jitter_frac:
+            backoff += backoff * self.jitter_frac * self._rng.random()
+        return int(backoff)
+
+    def note_retry(self):
+        self.retries += 1
+
+    # -- circuit breaker ---------------------------------------------------
+
+    def circuit_open(self, now_ns):
+        """Fail-fast gate: True while the breaker holds the circuit open."""
+        if self._open_until_ns is None:
+            return False
+        if now_ns >= self._open_until_ns:
+            # Cooldown expired: half-open; the next outcome decides.
+            self._open_until_ns = None
+            self._consecutive_failures = 0
+            return False
+        return True
+
+    def record_success(self):
+        """An attempt (or a retried attempt) succeeded: close the circuit."""
+        self._consecutive_failures = 0
+        self._open_until_ns = None
+
+    def record_failure(self, now_ns):
+        """A full retry budget was exhausted without success."""
+        self.gave_up += 1
+        self._consecutive_failures += 1
+        if (self.breaker_threshold is not None
+                and self._consecutive_failures >= self.breaker_threshold):
+            self._open_until_ns = now_ns + self.breaker_cooldown_ns
+            self.breaker_trips += 1
+
+    # -- generic driver ----------------------------------------------------
+
+    def run(self, ctx, fn, retryable=Exception, category=None,
+            on_retry=None):
+        """Drive ``fn()`` under this policy, charging backoff to ``ctx``.
+
+        ``fn`` is called up to ``1 + max_retries`` times; ``retryable``
+        exceptions trigger a charged backoff and a retry, anything else
+        propagates immediately.  With the circuit open, the first failure
+        (or, when ``fn`` is never attempted-safe, the breaker check by
+        the caller) propagates without consuming backoff time.  Returns
+        ``fn()``'s value on success.
+        """
+        if self.circuit_open(ctx.now):
+            self.gave_up += 1
+            return fn()  # one bare attempt, no budget: fail fast
+        attempt = 0
+        while True:
+            try:
+                result = fn()
+            except retryable:
+                attempt += 1
+                if not self.allows(attempt):
+                    self.record_failure(ctx.now)
+                    raise
+                self.note_retry()
+                if on_retry is not None:
+                    on_retry(attempt)
+                ctx.charge(self.backoff_ns(attempt), category)
+                continue
+            self.record_success()
+            return result
+
+    def __repr__(self):
+        return ("RetryPolicy(max_retries=%d, base=%dns, x%.1f, jitter=%.2f, "
+                "retries=%d, gave_up=%d, trips=%d)") % (
+            self.max_retries, self.base_backoff_ns, self.multiplier,
+            self.jitter_frac, self.retries, self.gave_up, self.breaker_trips,
+        )

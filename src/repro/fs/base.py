@@ -188,12 +188,28 @@ class FileSystem:
 
     @property
     def wb_err(self):
-        """The file system's errseq-style writeback-error map (lazy)."""
+        """The file system's errseq-style writeback-error map (lazy).
+
+        The map is owned by the underlying device, not the mount, so an
+        unreported writeback error survives unmount/remount -- the model
+        of a persistent media error log (NVDIMM address-range-scrub
+        badblock records): remounting the same device cannot make an
+        unacknowledged loss disappear.
+        """
         errs = getattr(self, "_wb_err_map", None)
         if errs is None:
             from repro.faults.errseq import ErrseqMap
 
-            errs = self._wb_err_map = ErrseqMap()
+            dev = getattr(self, "device", None)
+            if dev is None:
+                dev = getattr(getattr(self, "bdev", None), "nvmm", None)
+            if dev is not None:
+                errs = getattr(dev, "wb_err_log", None)
+                if errs is None:
+                    errs = dev.wb_err_log = ErrseqMap()
+            else:
+                errs = ErrseqMap()
+            self._wb_err_map = errs
         return errs
 
     def note_wb_error(self, ino):
@@ -208,6 +224,21 @@ class FileSystem:
         hook = getattr(self, "wb_error_hook", None)
         if hook is not None:
             hook(ino)
+
+    # -- integrity ---------------------------------------------------------
+
+    def scrub(self, ctx):
+        """Walk allocated extents, verify/repair bad media, return a
+        :class:`~repro.fs.scrub.ScrubReport`.
+
+        The base implementation builds the right scrubber for this fs
+        (:func:`repro.fs.scrub.scrubber_for`) and runs one pass; file
+        systems with no scrubbable substrate return a clean empty report.
+        """
+        from repro.fs.scrub import scrubber_for
+
+        scrubber = scrubber_for(self)
+        return scrubber.run(ctx)
 
     # -- lifecycle --------------------------------------------------------
 

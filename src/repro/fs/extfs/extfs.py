@@ -264,7 +264,14 @@ class Ext2(FileSystem):
         page = self.cache.insert(ctx, inode.ino, file_block)
         disk = inode.blocks.get(file_block)
         if disk is not None:
-            self.cache.fill_from_device(page, self.bdev.read_block(ctx, disk))
+            try:
+                self.cache.fill_from_device(page,
+                                            self.bdev.read_block(ctx, disk))
+            except MediaError:
+                # Never cache a page whose fill failed: a zeroed page
+                # would satisfy the next read silently.
+                self.cache.drop(page)
+                raise
         return page
 
     def read_iter(self, ctx, req):
@@ -307,8 +314,12 @@ class Ext2(FileSystem):
                 partial = take < BLOCK_SIZE
                 if disk is not None and partial:
                     # Fetch-before-write at page granularity.
-                    self.cache.fill_from_device(page,
-                                                self.bdev.read_block(ctx, disk))
+                    try:
+                        self.cache.fill_from_device(
+                            page, self.bdev.read_block(ctx, disk))
+                    except MediaError:
+                        self.cache.drop(page)
+                        raise
             self.cache.copy_in(ctx, page, in_off, bytes(view[:take]), ctx.now)
             touched.append(page)
             pos += take

@@ -33,6 +33,7 @@ invariant (data persists before the metadata that references it).
 """
 
 import struct
+import zlib
 
 from repro.engine.stats import CAT_OTHERS
 from repro.fs.pmfs.layout import block_addr
@@ -41,10 +42,25 @@ from repro.nvmm.config import CACHELINE_SIZE
 ENTRY_MAGIC = b"JNL!"
 HEADER_MAGIC = b"JHDR"
 ENTRY_SIZE = CACHELINE_SIZE
-#: magic, tx_id, kind, gen, len, addr, payload
-ENTRY_FMT = "<4sQBBHQ40s"
+#: magic, tx_id, kind, gen, len, addr, csum, payload.  The CRC32 covers
+#: the whole cacheline with the csum field zeroed, so a *torn* entry --
+#: one whose leading 8-byte words persisted but whose tail did not
+#: (sub-cacheline crash model) -- is detected and dropped at scan time
+#: instead of being replayed as garbage undo.  jbd2 checksums its
+#: descriptor/commit blocks for exactly this reason.
+ENTRY_FMT = "<4sIBBHQI40s"
 ENTRY_PAYLOAD_MAX = 40
+#: Byte offset/size of the csum field inside a packed entry.
+_CSUM_OFFSET = struct.calcsize("<4sIBBHQ")
+_CSUM_SIZE = 4
 assert struct.calcsize(ENTRY_FMT) == ENTRY_SIZE
+
+
+def entry_checksum(entry):
+    """CRC32 of a packed entry with its csum field zeroed."""
+    blank = entry[:_CSUM_OFFSET] + b"\0" * _CSUM_SIZE \
+        + entry[_CSUM_OFFSET + _CSUM_SIZE:]
+    return zlib.crc32(blank) & 0xFFFFFFFF
 
 #: magic, generation (header cacheline at the start of the ring)
 HEADER_FMT = "<4sQ"
@@ -83,10 +99,14 @@ class Transaction:
 class Journal:
     """The undo-journal ring in a reserved NVMM region."""
 
-    def __init__(self, env, device, sb, config):
+    def __init__(self, env, device, sb, config, checksums=True):
         self.env = env
         self.device = device
         self.config = config
+        #: Entry CRCs on/off.  Off exists only as the negative control for
+        #: the torn-write explorer: without checksums a torn entry whose
+        #: magic+gen words persisted is replayed with a garbage addr/payload.
+        self.checksums = checksums
         self.base_addr = block_addr(sb.journal_start)
         # Slot 0 of the region is the generation header.
         self.capacity = sb.journal_blocks * (4096 // ENTRY_SIZE) - 1
@@ -193,8 +213,13 @@ class Journal:
             self.gen,
             len(payload),
             addr,
+            0,
             payload.ljust(ENTRY_PAYLOAD_MAX, b"\0"),
         )
+        if self.checksums:
+            entry = entry[:_CSUM_OFFSET] \
+                + struct.pack("<I", entry_checksum(entry)) \
+                + entry[_CSUM_OFFSET + _CSUM_SIZE:]
         # One cacheline: write, flush, fence -- the entry (including its
         # generation stamp) becomes persistent atomically.
         slot_addr = self._slot_addr(self._head)
@@ -232,10 +257,15 @@ class Journal:
         transactions = {}
         for slot in range(self.capacity):
             raw = self.device.read_media(self._slot_addr(slot), ENTRY_SIZE)
-            magic, tx_id, kind, gen, length, addr, payload = struct.unpack(
-                ENTRY_FMT, raw
-            )
+            magic, tx_id, kind, gen, length, addr, csum, payload = \
+                struct.unpack(ENTRY_FMT, raw)
             if magic != ENTRY_MAGIC or gen != current_gen:
+                continue
+            if self.checksums and csum != entry_checksum(raw):
+                # Torn or corrupt entry: never replay it.  Safe to drop --
+                # an undo entry is durable *before* its metadata mutation,
+                # so a torn entry's transaction changed nothing yet.
+                self.env.stats.bump("journal_csum_drops")
                 continue
             record = transactions.setdefault(
                 tx_id, {"undo": [], "committed": False}

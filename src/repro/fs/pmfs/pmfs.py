@@ -32,7 +32,7 @@ class PMFS(FileSystem):
     name = "pmfs"
 
     def __init__(self, env, device, config, journal_blocks=256, inode_count=None,
-                 _skip_format=False):
+                 journal_checksums=True, _skip_format=False):
         self.env = env
         self.device = device
         self.config = config
@@ -41,7 +41,8 @@ class PMFS(FileSystem):
             self.sb = Superblock.unpack(device.mem.read(0, 4096))
         else:
             self.sb = Superblock.compute(total_blocks, journal_blocks, inode_count)
-        self.journal = Journal(env, device, self.sb, config)
+        self.journal = Journal(env, device, self.sb, config,
+                               checksums=journal_checksums)
         self.itable = InodeTable(device, self.journal, self.sb)
         self.balloc = BlockAllocator(
             self.sb.total_blocks - self.sb.data_start, first_block=self.sb.data_start

@@ -26,6 +26,7 @@ from contextlib import contextmanager
 from repro.engine.locks import InodeLockTable, VCompletion
 from repro.fs import flags as f
 from repro.fs.base import ROOT_INO
+from repro.fs.health import MountHealth
 from repro.io import OP_READ, OP_SYNC, OP_WRITE, IORequest
 from repro.io import ring as uring
 from repro.fs.errors import (
@@ -59,16 +60,19 @@ class OpenFile:
 class VFS:
     """Path/descriptor layer over one mounted file system.
 
-    Failure semantics (``errors=remount-ro``): media errors surface to the
-    caller as EIO (:class:`MediaError`); once ``media_error_threshold``
-    errors have been seen -- synchronous or via background writeback --
-    the mount degrades to read-only: further mutations raise
-    :class:`ReadOnly` while reads of good media keep being served.  A
-    mount whose journal recovery failed starts out degraded.
+    Failure semantics: media errors surface to the caller as EIO
+    (:class:`MediaError`), and the mount's posture is governed by a
+    :class:`~repro.fs.health.MountHealth` state machine.  Once
+    ``media_error_threshold`` errors have been seen -- synchronous or via
+    background writeback -- the mount degrades to read-only (mutations
+    raise :class:`ReadOnly` while reads of good media keep being served);
+    further errors while degraded isolate it entirely; a clean
+    :meth:`scrub` pass recovers it back to read-write.  A mount whose
+    journal recovery failed starts out degraded.
     """
 
     def __init__(self, env, fs, config, sync_mount=False,
-                 media_error_threshold=5):
+                 media_error_threshold=5, isolate_threshold=None):
         self.env = env
         self.fs = fs
         self.config = config
@@ -85,11 +89,13 @@ class VFS:
         # Per-inode bytes written since the last fsync, for the paper's
         # Figure 2 "percentage of fsync bytes" accounting.
         self._unsynced_bytes = {}
-        #: Media errors tolerated before the mount flips read-only.
+        #: Mount-health FSM (HEALTHY -> DEGRADED_RO -> ISOLATED with a
+        #: scrub-driven recovery edge back to HEALTHY).
+        self.health = MountHealth(
+            env, media_error_threshold=media_error_threshold,
+            isolate_threshold=isolate_threshold,
+        )
         self.media_error_threshold = media_error_threshold
-        self.media_errors = 0
-        self.read_only = False
-        self.ro_reason = None
         fs.wb_error_hook = self._on_async_media_error
         #: Per-thread submission/completion rings (see :meth:`ring`).
         self._rings = {}
@@ -104,30 +110,41 @@ class VFS:
         if fs.degraded_reason:
             self._remount_ro(fs.degraded_reason)
 
-    # -- degradation -----------------------------------------------------
+    # -- degradation / health --------------------------------------------
 
-    def _remount_ro(self, reason):
-        """Flip the mount read-only instead of crashing the scheduler."""
-        if self.read_only:
-            return
-        self.read_only = True
-        self.ro_reason = reason
-        self.env.stats.bump("vfs_remount_ro")
+    @property
+    def read_only(self):
+        """Compat view of the health FSM: anything not HEALTHY is RO."""
+        return not self.health.writable
+
+    @property
+    def ro_reason(self):
+        return self.health.reason
+
+    @property
+    def media_errors(self):
+        return self.health.media_errors
+
+    def _remount_ro(self, reason, now_ns=0):
+        """Degrade the mount read-only instead of crashing the scheduler."""
+        self.health.force_degraded(now_ns, reason)
 
     def _check_writable(self, what):
-        if self.read_only:
+        if not self.health.writable:
             raise ReadOnly(
-                "%s on read-only mount (%s)" % (what, self.ro_reason)
+                "%s on %s mount (%s)"
+                % (what, self.health.state, self.health.reason)
             )
 
-    def _count_media_error(self):
-        self.media_errors += 1
-        self.env.stats.bump("vfs_media_errors")
-        if self.media_errors >= self.media_error_threshold:
-            self._remount_ro(
-                "%d media errors (threshold %d)"
-                % (self.media_errors, self.media_error_threshold)
+    def _check_readable(self, what):
+        """An ISOLATED mount refuses even reads (the media is rotting)."""
+        if not self.health.readable:
+            raise MediaError(
+                "%s on isolated mount (%s)" % (what, self.health.reason)
             )
+
+    def _count_media_error(self, now_ns=0):
+        self.health.count_media_error(now_ns)
 
     def _on_async_media_error(self, ino):
         """Background writeback hit bad media; nobody to raise at, so the
@@ -136,13 +153,25 @@ class VFS:
         self._count_media_error()
 
     @contextmanager
-    def _media_guard(self):
-        """Count EIO from a synchronous fs call toward remount-ro."""
+    def _media_guard(self, ctx=None):
+        """Count EIO from a synchronous fs call toward the health FSM."""
         try:
             yield
         except MediaError:
-            self._count_media_error()
+            self._count_media_error(ctx.now if ctx is not None else 0)
             raise
+
+    def scrub(self, ctx):
+        """Run one scrub/repair pass and feed the result to the FSM.
+
+        A clean pass (every bad line repaired or isolated) recovers a
+        degraded mount back to HEALTHY read-write.  Returns the
+        :class:`~repro.fs.scrub.ScrubReport`.
+        """
+        report = self.fs.scrub(ctx)
+        self.health.scrub_result(ctx.now, report)
+        self.env.stats.bump("scrub_runs")
+        return report
 
     def _check_wb_error(self, file):
         """Report a deferred writeback error exactly once per fd."""
@@ -213,7 +242,7 @@ class VFS:
                 if not flags & f.O_CREAT:
                     raise NotFound(path)
                 self._check_writable("create of %r" % path)
-                with self._media_guard():
+                with self._media_guard(ctx):
                     ino = self.fs.create_file(ctx, parent, name)
                 self._dcache[(parent, name)] = ino
             else:
@@ -222,7 +251,7 @@ class VFS:
                 if flags & f.O_TRUNC and f.writable(flags):
                     self._check_writable("truncate of %r" % path)
                     with self.ilocks.write_locked(ctx, ino), \
-                            self._media_guard():
+                            self._media_guard(ctx):
                         self.fs.truncate(ctx, ino, 0)
             fd = self._next_fd
             self._next_fd += 1
@@ -249,7 +278,7 @@ class VFS:
             parent, name = self._resolve_parent(ctx, path)
             if self._lookup_child(ctx, parent, name) is not None:
                 raise ExistsError(path)
-            with self._media_guard():
+            with self._media_guard(ctx):
                 ino = self.fs.mkdir(ctx, parent, name)
             self._dcache[(parent, name)] = ino
             self.env.stats.ops_completed += 1
@@ -267,7 +296,7 @@ class VFS:
                 raise IsADirectory(path)
             # Parent and victim locked together, lowest inode first.
             with self.ilocks.write_locked_many(ctx, (parent, ino)):
-                with self._media_guard():
+                with self._media_guard(ctx):
                     self.fs.unlink(ctx, parent, name, ino)
             self.ilocks.drop(ino)
             self._dcache.pop((parent, name), None)
@@ -284,7 +313,7 @@ class VFS:
                 raise NotFound(path)
             if not self.fs.getattr(ctx, ino).is_dir:
                 raise NotADirectory(path)
-            with self._media_guard():
+            with self._media_guard(ctx):
                 self.fs.rmdir(ctx, parent, name, ino)
             self._dcache.pop((parent, name), None)
             self.env.stats.ops_completed += 1
@@ -323,7 +352,7 @@ class VFS:
             if replaced is not None:
                 lock_set.append(replaced)
             with self.ilocks.write_locked_many(ctx, lock_set):
-                with self._media_guard():
+                with self._media_guard(ctx):
                     self.fs.rename(
                         ctx, old_parent, old_name, new_parent, new_name, ino,
                         replaced_ino=replaced,
@@ -404,6 +433,7 @@ class VFS:
         file = self._file(sqe.fd)
         if not f.readable(file.flags):
             raise ReadOnly("fd %d not open for reading" % sqe.fd)
+        self._check_readable("read of %r" % file.path)
         positional = sqe.offset is None
         offset = file.pos if positional else sqe.offset
         sizes = [int(count) for count in sqe.iovecs]
@@ -416,7 +446,7 @@ class VFS:
         with ctx.syscall(sqe.syscall, req=req):
             ring.charge_entry(ctx)
             with self.ilocks.read_locked(ctx, file.ino):
-                with self._media_guard(), ctx.layer("fs"):
+                with self._media_guard(ctx), ctx.layer("fs"):
                     data = self.fs.submit(ctx, req)
             self.env.stats.ops_completed += 1
             bufs = req.scatter(data)
@@ -454,7 +484,7 @@ class VFS:
         with ctx.syscall(sqe.syscall, req=req):
             ring.charge_entry(ctx)
             with self.ilocks.write_locked(ctx, file.ino):
-                with self._media_guard(), ctx.layer("fs"):
+                with self._media_guard(ctx), ctx.layer("fs"):
                     written = self.fs.submit(ctx, req)
             self.env.stats.ops_completed += 1
             self.env.stats.bump("app_bytes_written", written)
@@ -487,7 +517,7 @@ class VFS:
                 datasync=datasync, syscall=sqe.syscall,
             )
             with self.ilocks.write_locked(ctx, file.ino):
-                with self._media_guard(), ctx.layer("fs"):
+                with self._media_guard(ctx), ctx.layer("fs"):
                     token = self.fs.submit(ctx, req)
             self.env.stats.ops_completed += 1
             self.env.stats.bump(
@@ -561,7 +591,7 @@ class VFS:
             parts = [p for p in path.split("/") if p]
             ino = self._walk(ctx, parts)
             with self.ilocks.write_locked(ctx, ino):
-                with self._media_guard(), ctx.layer("fs"):
+                with self._media_guard(ctx), ctx.layer("fs"):
                     self.fs.truncate(ctx, ino, new_size)
             self.env.stats.ops_completed += 1
 

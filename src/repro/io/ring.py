@@ -30,7 +30,7 @@ unchanged.
 import errno as _errno
 
 from repro.engine.locks import VCompletion
-from repro.fs.errors import FSError, InvalidArgument
+from repro.fs.errors import FSError, InvalidArgument, MediaError
 from repro.obs.trace import LAYER_RING, RING_CQ_WAIT, RING_IN_FLIGHT, \
     RING_SQ_WAIT
 
@@ -182,6 +182,11 @@ class IORing:
         self._entry_done = False
         #: Optional :class:`repro.faults.ringfault.RingFaultInjector`.
         self.faults = None
+        #: Optional :class:`repro.faults.policy.RetryPolicy`: EIO from an
+        #: SQE's handler is retried by resubmitting the SQE with charged
+        #: backoff before the CQE carries ``-EIO``.  None (the default)
+        #: fails fast, the pre-policy behaviour.
+        self.retry_policy = None
 
     # -- accounting shared with the VFS dispatch handlers -----------------
 
@@ -252,15 +257,13 @@ class IORing:
             error = None
             result = None
             try:
-                if self.faults is not None:
-                    self.faults.before_op(ctx, seq, sqe)
                 handler = self.vfs.op_table.get(sqe.op)
                 if handler is None:
                     raise InvalidArgument(
                         "ring opcode %r not in the dispatch table"
                         % (sqe.op,)
                     )
-                result = handler(ctx, sqe, self)
+                result = self._dispatch(ctx, seq, sqe, handler)
             except FSError as exc:
                 error = exc
             if sp is not None:
@@ -278,6 +281,38 @@ class IORing:
             if self.faults is not None:
                 self.faults.after_op(ctx, seq, sqe)
             linked_prev = bool(sqe.flags & IOSQE_IO_LINK)
+
+    def _dispatch(self, ctx, seq, sqe, handler):
+        """Run one SQE's handler, resubmitting on EIO under the ring's
+        retry policy.  Safe to re-run: a failed handler never advances
+        the descriptor's position, so the resubmission repeats the same
+        operation.  Injected ring faults (:attr:`faults`) fire inside the
+        retry loop, so an armed fault with ``max_hits`` set models a
+        transient EIO the resubmission recovers from."""
+        policy = self.retry_policy
+        if policy is None:
+            if self.faults is not None:
+                self.faults.before_op(ctx, seq, sqe)
+            return handler(ctx, sqe, self)
+        attempt = 0
+        while True:
+            try:
+                if self.faults is not None:
+                    self.faults.before_op(ctx, seq, sqe)
+                result = handler(ctx, sqe, self)
+            except MediaError:
+                attempt += 1
+                if not policy.allows(attempt) or policy.circuit_open(ctx.now):
+                    policy.record_failure(ctx.now)
+                    raise
+                policy.note_retry()
+                self.env.stats.bump("ring_sqe_retries")
+                ctx.charge(policy.backoff_ns(attempt))
+            else:
+                if attempt:
+                    policy.record_success()
+                    self.env.stats.bump("ring_sqe_retry_successes")
+                return result
 
     def _complete(self, sqe, seq, error, at_ns):
         res = -int(getattr(error, "errno", _errno.EIO) or _errno.EIO)

@@ -21,6 +21,10 @@ class BlockAllocator:
         self.first_block = int(first_block)
         self._free = set(range(first_block, first_block + num_blocks))
         self._cursor = first_block
+        #: Blocks pulled from circulation because their media went bad
+        #: (the scrubber's badblocks list).  Quarantined blocks count as
+        #: allocated and are never handed out again.
+        self.quarantined = set()
 
     @property
     def free_count(self):
@@ -70,6 +74,8 @@ class BlockAllocator:
         self._check(block)
         if block in self._free:
             raise ValueError("double free of block %d" % block)
+        if block in self.quarantined:
+            return
         self._free.add(block)
 
     def free_many(self, blocks):
@@ -80,3 +86,14 @@ class BlockAllocator:
         """Claim a specific block (used when rebuilding state at recovery)."""
         self._check(block)
         self._free.discard(block)
+
+    def quarantine(self, block):
+        """Pull ``block`` out of circulation permanently (bad media).
+
+        Works on both free and allocated blocks; a later :meth:`free` of
+        a quarantined block is a silent no-op instead of returning it to
+        the pool.
+        """
+        self._check(block)
+        self._free.discard(block)
+        self.quarantined.add(block)

@@ -8,6 +8,7 @@ from the stats.
 """
 
 from repro.engine.stats import CAT_OTHERS, CAT_READ_ACCESS, CAT_WRITE_ACCESS
+from repro.faults.policy import RetryPolicy
 from repro.fs.errors import MediaError
 from repro.mem.cpucache import CachedPersistentRegion
 from repro.mem.region import MemoryRegion
@@ -39,6 +40,15 @@ class NVMMDevice:
         #: attached, reads and persists of registered lines fail with
         #: :class:`~repro.fs.errors.MediaError` (EIO).
         self.fault_model = None
+        #: Transient-persist retry schedule.  Jitter stays off here so the
+        #: charged backoff is exactly ``media_retry_backoff_ns * 2**(n-1)``
+        #: and identical across devices; layers that want jitter or a
+        #: breaker (writeback, ring) construct their own policies.
+        self.retry_policy = RetryPolicy(
+            max_retries=config.media_retry_limit,
+            base_backoff_ns=config.media_retry_backoff_ns,
+            multiplier=2.0, jitter_frac=0.0,
+        )
         if env.has_resource(NVMM_WRITE_RESOURCE):
             self.write_slots = env.resource(NVMM_WRITE_RESOURCE)
         else:
@@ -52,16 +62,39 @@ class NVMMDevice:
 
     def attach_faults(self, fault_model):
         """Install a media-fault model; returns it for chaining."""
-        self.fault_model = fault_model
+        self.fault_model = fault_model.bind(self.env)
         return fault_model
 
     # -- fault guards ------------------------------------------------------
 
-    def _guard_read(self, addr, length):
+    def _trace_fault(self, ctx, kind, lines):
+        """Drop a zero-duration marker span onto the trace spine.
+
+        Zero duration keeps the exported per-layer sums equal to the
+        ``SimStats`` totals (the spine's core invariant) while still
+        making fault sites visible in `hinfs-bench trace`.
+        """
+        ring = self.env.trace
+        if ring is None:
+            return
+        now = ctx.now if ctx is not None else 0
+        req = getattr(ctx, "trace_span", None)
+        sp = ring.begin(
+            "media_error:%s" % kind,
+            getattr(ctx, "name", "device"), now,
+            req_id=req.req_id if req is not None else 0,
+            layer=LAYER_NVMM,
+            meta={"lines": sorted(lines)},
+        )
+        sp.close(now)
+        ring.record(sp)
+
+    def _guard_read(self, addr, length, ctx=None):
         if self.fault_model is None:
             return
         bad = self.fault_model.failing_read_lines(addr, length)
         if bad:
+            self._trace_fault(ctx, "read", bad)
             raise MediaError(
                 "uncorrectable NVMM read error at lines %s" % (bad,),
                 addr=addr, length=length, lines=bad,
@@ -70,42 +103,46 @@ class NVMMDevice:
     def _guard_persist(self, ctx, addr, length):
         """Fail, or retry-with-backoff, persists touching faulty lines.
 
-        Transient faults are retried up to ``media_retry_limit`` times
-        with exponential backoff charged in virtual time; lines still
-        failing afterwards are marked permanently bad and the persist
-        raises :class:`MediaError`.  Permanent faults raise immediately.
-        Runs *before* the data plane mutates, so a failed persist leaves
-        nothing durable.
+        Transient faults are retried under :class:`RetryPolicy` (budget
+        ``media_retry_limit``, exponential backoff charged in virtual
+        time); lines still failing afterwards are marked permanently bad
+        and the persist raises :class:`MediaError`.  Permanent faults
+        raise immediately.  Runs *before* the data plane mutates, so a
+        failed persist leaves nothing durable.
         """
         model = self.fault_model
         if model is None:
             return
+        policy = self.retry_policy
         attempt = 0
         while True:
             permanent, transient = model.probe_persist(addr, length)
             if permanent:
+                self._trace_fault(ctx, "persist", permanent)
                 raise MediaError(
                     "NVMM persist failed on bad lines %s" % (permanent,),
                     addr=addr, length=length, lines=permanent,
                 )
             if not transient:
+                if attempt:
+                    policy.record_success()
                 return
             attempt += 1
-            if attempt > self.config.media_retry_limit:
+            if not policy.allows(attempt):
                 for line in transient:
                     model.mark_bad(line)
+                policy.record_failure(ctx.now if ctx is not None else 0)
+                self._trace_fault(ctx, "retries_exhausted", transient)
                 raise MediaError(
                     "NVMM persist retries exhausted; lines %s marked bad"
                     % (transient,),
                     addr=addr, length=length, lines=transient,
                 )
-            model.retries += 1
+            model.note_retry()
+            policy.note_retry()
             self.env.stats.bump("media_persist_retries")
             if ctx is not None:
-                ctx.charge(
-                    self.config.media_retry_backoff_ns * (1 << (attempt - 1)),
-                    CAT_WRITE_ACCESS,
-                )
+                ctx.charge(policy.backoff_ns(attempt), CAT_WRITE_ACCESS)
 
     # -- loads ------------------------------------------------------------
 
@@ -115,7 +152,7 @@ class NVMMDevice:
         span = getattr(ctx, "trace_span", None)
         start = ctx.now if span is not None else 0
         ctx.charge(self.config.load_cost_ns(length), category)
-        self._guard_read(addr, length)
+        self._guard_read(addr, length, ctx)
         data = self.mem.read(addr, length)
         self.env.stats.bytes_read_nvmm += length
         if span is not None:

@@ -30,6 +30,8 @@ LAYER_LOCK = "lock"
 #: life down into time queued in the SQ before execution, execution
 #: itself, and time the reaper spent blocked on the CQ.
 LAYER_RING = "ring"
+#: Background integrity scrub passes (see :mod:`repro.fs.scrub`).
+LAYER_SCRUB = "scrub"
 RING_SQ_WAIT = "ring.sq_wait"
 RING_IN_FLIGHT = "ring.in_flight"
 RING_CQ_WAIT = "ring.cq_wait"

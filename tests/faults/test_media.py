@@ -186,6 +186,30 @@ class TestRemountReadOnly:
             vfs2.write_file(ctx, "/nope", b"x")
 
 
+class TestScatter:
+    def test_seeded_scatter_is_deterministic_and_sorted(self):
+        a = MediaFaultModel(seed=3).scatter(5, 1000)
+        b = MediaFaultModel(seed=3).scatter(5, 1000)
+        assert a == b == sorted(set(a))
+        assert len(a) == 5
+        assert all(0 <= line < 1000 for line in a)
+        assert MediaFaultModel(seed=4).scatter(5, 1000) != a
+
+    def test_zero_lines_returns_empty(self):
+        assert MediaFaultModel().scatter(0, 100) == []
+        assert MediaFaultModel().scatter(0, 0) == []
+
+    def test_rejects_more_lines_than_region(self):
+        with pytest.raises(ValueError):
+            MediaFaultModel().scatter(11, 10)
+
+    def test_rejects_negative_arguments(self):
+        with pytest.raises(ValueError):
+            MediaFaultModel().scatter(-1, 10)
+        with pytest.raises(ValueError):
+            MediaFaultModel().scatter(1, -1)
+
+
 class TestErrseq:
     def test_map_exactly_once_per_cursor(self):
         errs = ErrseqMap()

@@ -1,0 +1,134 @@
+"""Tests for the unified RetryPolicy primitive."""
+
+import pytest
+
+from repro.engine.context import ExecContext
+from repro.engine.env import SimEnv
+from repro.faults.policy import RetryPolicy
+
+
+def _ctx():
+    return ExecContext(SimEnv(), "t")
+
+
+def test_budget_is_one_based_and_bounded():
+    policy = RetryPolicy(max_retries=2)
+    assert policy.allows(1)
+    assert policy.allows(2)
+    assert not policy.allows(3)
+    assert not RetryPolicy(max_retries=0).allows(1)
+
+
+def test_backoff_is_exponential_without_jitter():
+    policy = RetryPolicy(base_backoff_ns=1_000, multiplier=2.0,
+                         jitter_frac=0.0)
+    assert [policy.backoff_ns(n) for n in (1, 2, 3)] == [1_000, 2_000, 4_000]
+    with pytest.raises(ValueError):
+        policy.backoff_ns(0)
+
+
+def test_jitter_is_additive_and_seeded():
+    def schedule(seed):
+        policy = RetryPolicy(base_backoff_ns=1_000, multiplier=2.0,
+                             jitter_frac=0.5, seed=seed)
+        return [policy.backoff_ns(n) for n in (1, 2, 3)]
+
+    first, second = schedule(7), schedule(7)
+    assert first == second  # same seed, same schedule
+    floor = [1_000, 2_000, 4_000]
+    for got, base in zip(first, floor):
+        assert base <= got <= int(base * 1.5)
+    assert schedule(8) != first
+
+
+def test_constructor_validates_knobs():
+    with pytest.raises(ValueError):
+        RetryPolicy(max_retries=-1)
+    with pytest.raises(ValueError):
+        RetryPolicy(base_backoff_ns=-1)
+    with pytest.raises(ValueError):
+        RetryPolicy(multiplier=0.5)
+    with pytest.raises(ValueError):
+        RetryPolicy(jitter_frac=1.5)
+
+
+def test_breaker_trips_after_consecutive_exhaustions():
+    policy = RetryPolicy(max_retries=0, breaker_threshold=3,
+                         breaker_cooldown_ns=1_000_000)
+    for _ in range(2):
+        policy.record_failure(now_ns=0)
+    assert not policy.circuit_open(0)
+    policy.record_failure(now_ns=0)
+    assert policy.circuit_open(0)
+    assert policy.breaker_trips == 1
+    # Cooldown expiry half-opens the circuit ...
+    assert not policy.circuit_open(1_000_000)
+    # ... and the consecutive count restarts from zero.
+    policy.record_failure(now_ns=1_000_000)
+    assert not policy.circuit_open(1_000_000)
+
+
+def test_success_closes_the_circuit():
+    policy = RetryPolicy(max_retries=0, breaker_threshold=1)
+    policy.record_failure(now_ns=0)
+    assert policy.circuit_open(0)
+    policy.record_success()
+    assert not policy.circuit_open(0)
+
+
+def test_run_retries_then_succeeds_charging_backoff():
+    policy = RetryPolicy(max_retries=3, base_backoff_ns=1_000,
+                         multiplier=2.0, jitter_frac=0.0)
+    ctx = _ctx()
+    calls = []
+
+    def flaky():
+        calls.append(None)
+        if len(calls) < 3:
+            raise OSError("transient")
+        return "ok"
+
+    assert policy.run(ctx, flaky, retryable=OSError) == "ok"
+    assert len(calls) == 3
+    assert policy.retries == 2
+    assert ctx.now == 1_000 + 2_000  # two charged backoffs
+
+
+def test_run_exhausts_budget_and_raises():
+    policy = RetryPolicy(max_retries=1, base_backoff_ns=500,
+                         jitter_frac=0.0)
+    ctx = _ctx()
+
+    def always():
+        raise OSError("dead")
+
+    with pytest.raises(OSError):
+        policy.run(ctx, always, retryable=OSError)
+    assert policy.gave_up == 1
+    assert ctx.now == 500  # only the allowed retry's backoff was charged
+
+
+def test_run_does_not_swallow_unrelated_exceptions():
+    policy = RetryPolicy(max_retries=5)
+    with pytest.raises(KeyError):
+        policy.run(_ctx(), lambda: (_ for _ in ()).throw(KeyError("x")),
+                   retryable=OSError)
+    assert policy.retries == 0
+
+
+def test_run_fails_fast_while_circuit_open():
+    policy = RetryPolicy(max_retries=2, base_backoff_ns=1_000,
+                         jitter_frac=0.0, breaker_threshold=1)
+    ctx = _ctx()
+
+    def always():
+        raise OSError("dead")
+
+    with pytest.raises(OSError):
+        policy.run(ctx, always, retryable=OSError)
+    spent = ctx.now
+    assert policy.circuit_open(ctx.now)
+    # Open circuit: one bare attempt, no backoff time consumed.
+    with pytest.raises(OSError):
+        policy.run(ctx, always, retryable=OSError)
+    assert ctx.now == spent
