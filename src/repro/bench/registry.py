@@ -16,6 +16,7 @@ from repro.bench.experiments import (
     fig13_macro,
     ring_batch,
     scale_threads,
+    simspeed,
 )
 
 EXPERIMENTS = {
@@ -36,6 +37,7 @@ EXPERIMENTS = {
     "scale": scale_threads,
     "ring": ring_batch,
     "chaos": chaos_campaign,
+    "simspeed": simspeed,
 }
 
 

@@ -121,6 +121,93 @@ def trace_main(argv):
     return 0
 
 
+def simspeed_main(argv):
+    """``simspeed``: wall-clock engine self-benchmark with optional
+    cProfile capture and a perf-regression gate against a baseline."""
+    from repro.bench.experiments import simspeed
+
+    parser = argparse.ArgumentParser(
+        prog="hinfs-bench simspeed",
+        description="Measure wall-clock simulation speed (sim-ops/sec) "
+        "per stack for write/mixed/ring workloads; optionally profile "
+        "the run or gate against a recorded baseline.",
+    )
+    parser.add_argument("--scale", choices=sorted(SCALES), default="small",
+                        help="scale preset (default: small)")
+    parser.add_argument("--repeats", type=int, default=2,
+                        help="wall-clock repeats per cell, best kept "
+                        "(default: 2)")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="dump the raw measurements as JSON "
+                        "(CI archives this as BENCH_simspeed.json)")
+    parser.add_argument("--profile", nargs="?", const="simspeed.pstats",
+                        default=None, metavar="PATH",
+                        help="wrap the run in cProfile; writes a pstats "
+                        "dump to PATH (default: simspeed.pstats) and "
+                        "prints the top-20 cumulative functions")
+    parser.add_argument("--baseline", metavar="PATH", default=None,
+                        help="gate against a previously recorded "
+                        "BENCH_simspeed.json: fail if the headline "
+                        "mixed-workload sim-ops/sec regresses")
+    parser.add_argument("--max-regression", type=float, default=0.30,
+                        help="allowed fractional drop below the baseline "
+                        "headline before the gate fails (default: 0.30)")
+    args = parser.parse_args(argv)
+
+    scale = SCALES[args.scale]
+    # Load the baseline *before* the run so ``--json`` and ``--baseline``
+    # may name the same file (gate against the old numbers, then refresh).
+    baseline = None
+    if args.baseline is not None:
+        with open(args.baseline) as fileobj:
+            baseline = json.load(fileobj)
+    profiler = None
+    if args.profile is not None:
+        import cProfile
+        profiler = cProfile.Profile()
+        profiler.enable()
+    tables, data = simspeed.run(scale=scale, repeats=args.repeats)
+    if profiler is not None:
+        profiler.disable()
+    simspeed.check_shape(data)
+    for table in tables:
+        print(table)
+        print()
+    if profiler is not None:
+        import pstats
+        profiler.dump_stats(args.profile)
+        print("wrote profile %s" % args.profile)
+        stats = pstats.Stats(profiler, stream=sys.stdout)
+        stats.strip_dirs().sort_stats("cumulative").print_stats(20)
+    if args.json is not None:
+        with open(args.json, "w") as fileobj:
+            json.dump(data, fileobj, indent=1, sort_keys=True)
+        print("wrote %s" % args.json)
+    if baseline is not None:
+        # Prefer the interpreter-normalized headline (machine-portable);
+        # fall back to the raw rate for baselines predating calibration.
+        if baseline.get("headline_mixed_normalized"):
+            metric = "headline_mixed_normalized"
+            unit = "sim-ops/cal-unit"
+        else:
+            metric = "headline_mixed_ops_per_sec"
+            unit = "sim-ops/s"
+        base = baseline.get(metric, 0.0)
+        now = data[metric]
+        floor = base * (1.0 - args.max_regression)
+        verdict = "ok" if now >= floor else "REGRESSION"
+        print("simspeed gate: mixed %.4f %s vs baseline %.4f "
+              "(floor %.4f at -%d%%): %s"
+              % (now, unit, base, floor, round(args.max_regression * 100),
+                 verdict))
+        if now < floor:
+            print("simspeed gate FAILED: headline mixed-workload rate "
+                  "dropped more than %.0f%% below the checked-in baseline"
+                  % (args.max_regression * 100), file=sys.stderr)
+            return 1
+    return 0
+
+
 def main(argv=None):
     if argv is None:
         argv = sys.argv[1:]
@@ -128,6 +215,8 @@ def main(argv=None):
         return crashcheck_main(argv[1:])
     if argv and argv[0] == "trace":
         return trace_main(argv[1:])
+    if argv and argv[0] == "simspeed":
+        return simspeed_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="hinfs-bench",
         description="Regenerate the HiNFS paper's tables and figures.",

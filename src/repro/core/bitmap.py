@@ -41,20 +41,27 @@ def fully_covered_mask(offset, length):
 
 
 def popcount(mask):
-    return bin(mask).count("1")
+    return mask.bit_count()
 
 
 def iter_runs(mask, limit=LINES_PER_BLOCK):
-    """Yield ``(first_line, nlines)`` for each run of set bits."""
+    """Yield ``(first_line, nlines)`` for each run of set bits.
+
+    Whole runs at a time via bit arithmetic (``x & -x`` isolates the
+    lowest set bit; ``x ^ (x + 1)`` masks the trailing ones), instead of
+    testing the mask bit by bit.
+    """
+    mask &= (1 << limit) - 1
     line = 0
-    while line < limit:
-        if not (mask >> line) & 1:
-            line += 1
-            continue
-        start = line
-        while line < limit and (mask >> line) & 1:
-            line += 1
-        yield start, line - start
+    while True:
+        rest = mask >> line
+        if not rest:
+            return
+        line += (rest & -rest).bit_length() - 1
+        rest = mask >> line
+        nlines = (rest ^ (rest + 1)).bit_length() - 1
+        yield line, nlines
+        line += nlines
 
 
 def iter_valid_runs(valid_mask, limit=LINES_PER_BLOCK):
@@ -64,13 +71,22 @@ def iter_valid_runs(valid_mask, limit=LINES_PER_BLOCK):
     bitmap value are served with a single memcpy from DRAM (bit set) or
     NVMM (bit clear).
     """
+    valid_mask &= (1 << limit) - 1
     line = 0
     while line < limit:
-        bit = (valid_mask >> line) & 1
-        start = line
-        while line < limit and ((valid_mask >> line) & 1) == bit:
-            line += 1
-        yield start, line - start, bool(bit)
+        rest = valid_mask >> line
+        if rest & 1:
+            nlines = (rest ^ (rest + 1)).bit_length() - 1
+            if nlines > limit - line:
+                nlines = limit - line
+            yield line, nlines, True
+        elif rest:
+            nlines = (rest & -rest).bit_length() - 1
+            yield line, nlines, False
+        else:
+            yield line, limit - line, False
+            return
+        line += nlines
 
 
 class CachelineBitmap:

@@ -115,6 +115,10 @@ class WritebackPool(BackgroundTask):
         """Foreground noticed free blocks < Low_f."""
         if now_ns < self._pressure_ns:
             self._pressure_ns = now_ns
+            # The registry caches the minimum due time; this is the one
+            # path that can pull a due time *earlier* from outside
+            # run_due, so it must drop that cache.
+            self.env.background.invalidate()
 
     def demand_reclaim(self, fg_ctx):
         """The buffer is completely full: reclaim a batch *synchronously*.

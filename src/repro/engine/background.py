@@ -51,32 +51,60 @@ class BackgroundTask:
 
 
 class BackgroundRegistry:
-    """All background timelines attached to a simulation environment."""
+    """All background timelines attached to a simulation environment.
+
+    ``advance_to`` is called once per scheduler step, so its idle path is
+    hot: the registry caches the minimum due time across its tasks and
+    returns without touching any task while the horizon stays below it.
+    Due times move *forward* only inside ``run_due`` (where the cache is
+    refreshed); the one place they move *backward* from outside is
+    :meth:`~repro.core.writeback.WritebackPool.signal_pressure`, which
+    calls :meth:`invalidate`.
+    """
 
     # Safety valve against a task failing to make forward progress.
     _MAX_ROUNDS = 1_000_000
 
     def __init__(self):
         self._tasks = []
+        self._min_due_ns = NEVER
+        self._min_due_stale = False
 
     def register(self, task):
         self._tasks.append(task)
+        self._min_due_stale = True
         return task
 
     def tasks(self):
         return list(self._tasks)
 
+    def invalidate(self):
+        """A task's due time changed outside ``run_due`` (it may now be
+        *earlier* than the cached minimum); recompute on next use."""
+        self._min_due_stale = True
+
     def quiesce(self):
         """Rewind every registered timeline to idle t=0."""
         for task in self._tasks:
             task.quiesce()
+        self._min_due_stale = True
 
     def advance_to(self, horizon_ns):
         """Run every task's work due at or before ``horizon_ns``."""
+        if self._min_due_stale:
+            self._min_due_ns = min(
+                (t.next_due_ns() for t in self._tasks), default=NEVER
+            )
+            self._min_due_stale = False
+        if horizon_ns < self._min_due_ns:
+            return
         rounds = 0
         while True:
             due = [t for t in self._tasks if t.next_due_ns() <= horizon_ns]
             if not due:
+                self._min_due_ns = min(
+                    (t.next_due_ns() for t in self._tasks), default=NEVER
+                )
                 return
             for task in sorted(due, key=lambda t: t.next_due_ns()):
                 before = task.next_due_ns()

@@ -6,17 +6,102 @@ devices charge data-copy time to it (tagged with a breakdown category so
 Figure 1 can be regenerated), the VFS records per-syscall durations on it
 (for Figure 12), and timed resources synchronise it forward when the
 thread has to queue for an NVMM writer slot.
-"""
 
-from contextlib import contextmanager
+The context managers here (``span``/``syscall``/``layer``/``waiting``)
+sit on the hot path of every simulated operation, so they are small
+``__slots__`` classes rather than ``contextlib`` generators: entering a
+generator-based manager costs a generator frame plus two ``next`` calls,
+which at millions of spans per run is real wall-clock time.
+"""
 
 from repro.engine.clock import VirtualClock
 from repro.engine.stats import CAT_OTHERS
 from repro.obs.trace import LAYER_VFS
 
 
+class _WaitingCM:
+    """Sets ``ctx.waiting_on`` for the duration (deadlock diagnostics)."""
+
+    __slots__ = ("ctx", "what", "previous")
+
+    def __init__(self, ctx, what):
+        self.ctx = ctx
+        self.what = what
+
+    def __enter__(self):
+        ctx = self.ctx
+        self.previous = ctx.waiting_on
+        ctx.waiting_on = self.what
+        return ctx
+
+    def __exit__(self, exc_type, exc, tb):
+        self.ctx.waiting_on = self.previous
+        return False
+
+
+class _SpanCM:
+    """Closes one pipeline span: feeds stats and (if traced) the ring."""
+
+    __slots__ = ("ctx", "name", "layer", "sp", "start_ns", "previous")
+
+    def __init__(self, ctx, name, layer, sp, start_ns):
+        self.ctx = ctx
+        self.name = name
+        self.layer = layer
+        self.sp = sp
+        self.start_ns = start_ns
+
+    def __enter__(self):
+        ctx = self.ctx
+        self.previous = ctx.trace_span
+        ctx.trace_span = self.sp
+        return self.sp
+
+    def __exit__(self, exc_type, exc, tb):
+        ctx = self.ctx
+        ctx.trace_span = self.previous
+        end_ns = ctx.clock.now
+        if self.layer == LAYER_VFS:
+            ctx.env.stats.add_syscall_time(self.name, end_ns - self.start_ns)
+        sp = self.sp
+        if sp is not None:
+            sp.close(end_ns)
+            add_layer_time = ctx.env.stats.add_layer_time
+            for span_layer, ns in sp.layer_totals().items():
+                add_layer_time(span_layer, ns)
+            ctx.env.trace.record(sp)
+        return False
+
+
+class _PhaseCM:
+    """Attaches a sub-layer phase to the enclosing span (no-op untraced)."""
+
+    __slots__ = ("ctx", "name", "sp", "enter_ns")
+
+    def __init__(self, ctx, name):
+        self.ctx = ctx
+        self.name = name
+
+    def __enter__(self):
+        ctx = self.ctx
+        sp = ctx.trace_span
+        self.sp = sp
+        if sp is not None:
+            self.enter_ns = ctx.clock.now
+        return ctx
+
+    def __exit__(self, exc_type, exc, tb):
+        sp = self.sp
+        if sp is not None:
+            sp.add_phase(self.name, self.enter_ns, self.ctx.clock.now)
+        return False
+
+
 class ExecContext:
     """The simulated-time identity of one simulated thread."""
+
+    __slots__ = ("env", "name", "clock", "waiting_on", "trace_span",
+                 "held_locks")
 
     def __init__(self, env, name="ctx", start_ns=0):
         self.env = env
@@ -40,12 +125,20 @@ class ExecContext:
     # -- time charging --------------------------------------------------
 
     def charge(self, ns, category=CAT_OTHERS):
-        """Spend ``ns`` of this thread's virtual time under ``category``."""
+        """Spend ``ns`` of this thread's virtual time under ``category``.
+
+        Inlines the clock bump and the breakdown-bucket add (every device
+        access lands here, several times per op): ``ns`` is known
+        non-negative past the guard, so the clock's monotonicity check is
+        redundant, and the breakdown is a plain int bucket.
+        """
+        clock = self.clock
         if ns <= 0:
-            return self.clock.now
-        self.clock.advance(ns)
-        self.env.stats.add_time(category, ns)
-        return self.clock.now
+            return clock._now
+        ns = int(ns)
+        clock._now += ns
+        self.env.stats.breakdown._ns[category] += ns
+        return clock._now
 
     def sync_to(self, target_ns, category=CAT_OTHERS):
         """Wait (advance the clock) until ``target_ns`` if it is ahead.
@@ -54,12 +147,15 @@ class ExecContext:
         lands in this thread's future.  The waited time is charged to
         ``category`` so queueing shows up in the breakdown figures.
         """
-        wait = target_ns - self.clock.now
-        if wait > 0:
-            self.charge(wait, category)
-        return self.clock.now
+        clock = self.clock
+        wait = target_ns - clock._now
+        if wait <= 0:
+            return clock._now
+        wait = int(wait)
+        clock._now += wait
+        self.env.stats.breakdown._ns[category] += wait
+        return clock._now
 
-    @contextmanager
     def waiting(self, what):
         """Label this thread as blocked on ``what`` for the duration.
 
@@ -67,16 +163,10 @@ class ExecContext:
         set, the resulting :class:`~repro.engine.errors.DeadlockError`
         reports it per thread.
         """
-        previous = self.waiting_on
-        self.waiting_on = what
-        try:
-            yield self
-        finally:
-            self.waiting_on = previous
+        return _WaitingCM(self, what)
 
     # -- the trace spine's single instrumentation point -------------------
 
-    @contextmanager
     def span(self, name, layer=LAYER_VFS, req=None, meta=None):
         """Open one pipeline span for the duration of the block.
 
@@ -86,52 +176,32 @@ class ExecContext:
         and -- when tracing is enabled -- records the span into the
         bounded trace ring, all from the same measurement, so exported
         per-layer trace durations sum to the stats totals by
-        construction.  Untraced runs skip all span allocation.
+        construction.
+
+        Disabled fast path: with tracing off, or the span's layer
+        filtered out of the ring (``enable_tracing(layers=...)``), no
+        Span is allocated, no request id is drawn here, and the ring is
+        never touched -- only the always-on per-syscall accounting runs.
         """
         ring = self.env.trace
-        start = self.clock.now
         sp = None
-        if ring is not None:
+        if ring is not None and ring.wants(layer):
             req_id = req.req_id if req is not None else self.env.next_req_id()
-            sp = ring.begin(name, self.name, start, req_id, layer=layer,
-                            meta=meta)
+            sp = ring.begin(name, self.name, self.clock.now, req_id,
+                            layer=layer, meta=meta)
             if req is not None:
                 req.span = sp
-        previous = self.trace_span
-        self.trace_span = sp
-        try:
-            yield sp
-        finally:
-            self.trace_span = previous
-            duration = self.clock.now - start
-            if layer == LAYER_VFS:
-                self.env.stats.add_syscall_time(name, duration)
-            if sp is not None:
-                sp.close(self.clock.now)
-                for span_layer, ns in sp.layer_totals().items():
-                    self.env.stats.add_layer_time(span_layer, ns)
-                ring.record(sp)
+        return _SpanCM(self, name, layer, sp, self.clock.now)
 
-    @contextmanager
     def syscall(self, name, req=None):
         """Record the duration of one syscall for per-syscall breakdowns
         (and, when tracing, as a ``vfs``-layer span carrying ``req``)."""
-        with self.span(name, layer=LAYER_VFS, req=req) as sp:
-            yield sp
+        return self.span(name, layer=LAYER_VFS, req=req)
 
-    @contextmanager
     def layer(self, name):
         """Record a sub-layer visit (``fs``/``writeback``/``nvmm``) as a
         phase on the enclosing span.  No-op when untraced."""
-        sp = self.trace_span
-        if sp is None:
-            yield self
-            return
-        enter = self.clock.now
-        try:
-            yield self
-        finally:
-            sp.add_phase(name, enter, self.clock.now)
+        return _PhaseCM(self, name)
 
     def __repr__(self):
         return "ExecContext(name=%r, now=%d)" % (self.name, self.clock.now)

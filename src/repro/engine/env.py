@@ -33,12 +33,14 @@ class SimEnv:
         """Allocate the next request id (unique within this run)."""
         return next(self._req_ids)
 
-    def enable_tracing(self, capacity=4096):
+    def enable_tracing(self, capacity=4096, layers=None):
         """Attach a bounded trace ring; returns it (idempotent-ish: a
-        second call replaces the ring)."""
+        second call replaces the ring).  ``layers`` restricts the ring to
+        a subset of span layers -- spans of other layers skip allocation
+        entirely (the disabled-layer fast path)."""
         from repro.obs.trace import TraceRing
 
-        self.trace = TraceRing(capacity)
+        self.trace = TraceRing(capacity, layers=layers)
         return self.trace
 
     def quiesce(self):

@@ -24,11 +24,35 @@ order of a lock already held by the same context raises
 (the ABBA pair would hang a real kernel; here it is diagnosed eagerly).
 """
 
-from contextlib import ExitStack, contextmanager
-
 from repro.engine.errors import DeadlockError, ThreadDiagnostic
 from repro.engine.stats import CAT_OTHERS
 from repro.obs.trace import LAYER_LOCK
+
+
+class _HeldCM:
+    """Release-on-exit guard returned by the lock ``held`` helpers.
+
+    ``acquire``/``release`` are bound methods, so one small class covers
+    the mutex, both rwlock modes, and the inode-table variants without a
+    ``contextlib`` generator per acquisition (these guards are entered
+    once per simulated operation).
+    """
+
+    __slots__ = ("lock", "ctx", "_acquire", "_release")
+
+    def __init__(self, lock, ctx, acquire, release):
+        self.lock = lock
+        self.ctx = ctx
+        self._acquire = acquire
+        self._release = release
+
+    def __enter__(self):
+        self._acquire(self.ctx)
+        return self.lock
+
+    def __exit__(self, exc_type, exc, tb):
+        self._release(self.ctx)
+        return False
 
 
 class _VLockBase:
@@ -48,14 +72,15 @@ class _VLockBase:
         data copy nor media access), tagged as a ``lock`` phase on the
         enclosing trace span, and labelled for deadlock diagnostics.
         """
-        self.env.stats.bump("lock_acquisitions")
+        stats = self.env.stats
+        stats.counters["lock_acquisitions"] += 1
         wait = free_at - ctx.now
         if wait <= 0:
             return 0
         self.contentions += 1
         self.wait_ns_total += wait
-        self.env.stats.bump("lock_contentions")
-        self.env.stats.bump("lock_wait_ns", wait)
+        stats.counters["lock_contentions"] += 1
+        stats.counters["lock_wait_ns"] += wait
         with ctx.waiting("%s of %r" % (what, self.name)):
             with ctx.layer(LAYER_LOCK):
                 ctx.sync_to(free_at, CAT_OTHERS)
@@ -151,13 +176,8 @@ class VMutex(_VLockBase):
             self._free_at = ctx.now
         self.owner = None
 
-    @contextmanager
     def held(self, ctx):
-        self.acquire(ctx)
-        try:
-            yield self
-        finally:
-            self.release(ctx)
+        return _HeldCM(self, ctx, self.acquire, self.release)
 
     def __repr__(self):
         return "VMutex(%r, free_at=%d, owner=%r)" % (
@@ -200,21 +220,11 @@ class VRWLock(_VLockBase):
             self._write_free_at = ctx.now
         self.writer = None
 
-    @contextmanager
     def read_held(self, ctx):
-        self.acquire_read(ctx)
-        try:
-            yield self
-        finally:
-            self.release_read(ctx)
+        return _HeldCM(self, ctx, self.acquire_read, self.release_read)
 
-    @contextmanager
     def write_held(self, ctx):
-        self.acquire_write(ctx)
-        try:
-            yield self
-        finally:
-            self.release_write(ctx)
+        return _HeldCM(self, ctx, self.acquire_write, self.release_write)
 
     def __repr__(self):
         return "VRWLock(%r, wfree=%d, rfree=%d, writer=%r)" % (
@@ -288,32 +298,80 @@ class InodeLockTable:
 
     # -- acquisition context managers ------------------------------------
 
-    @contextmanager
     def read_locked(self, ctx, ino):
-        lock = self.lock(ino)
-        self._push(ctx, ino, "read")
-        lock.acquire_read(ctx)
-        try:
-            yield lock
-        finally:
-            lock.release_read(ctx)
-            self._pop(ctx, ino, "read")
+        return _InodeGuard(self, ctx, ino, "read")
 
-    @contextmanager
     def write_locked(self, ctx, ino):
-        lock = self.lock(ino)
-        self._push(ctx, ino, "write")
-        lock.acquire_write(ctx)
-        try:
-            yield lock
-        finally:
-            lock.release_write(ctx)
-            self._pop(ctx, ino, "write")
+        return _InodeGuard(self, ctx, ino, "write")
 
-    @contextmanager
     def write_locked_many(self, ctx, inos):
         """Write-lock a set of inodes in the canonical (ascending) order."""
-        with ExitStack() as stack:
-            for ino in sorted(set(inos)):
-                stack.enter_context(self.write_locked(ctx, ino))
-            yield
+        return _InodeManyGuard(self, ctx, inos)
+
+
+class _InodeGuard:
+    """One inode lock held for a ``with`` block (lockdep-tracked)."""
+
+    __slots__ = ("table", "ctx", "ino", "mode", "lock")
+
+    def __init__(self, table, ctx, ino, mode):
+        self.table = table
+        self.ctx = ctx
+        self.ino = ino
+        self.mode = mode
+
+    def __enter__(self):
+        table, ctx, ino = self.table, self.ctx, self.ino
+        lock = table.lock(ino)
+        self.lock = lock
+        if self.mode == "read":
+            table._push(ctx, ino, "read")
+            lock.acquire_read(ctx)
+        else:
+            table._push(ctx, ino, "write")
+            lock.acquire_write(ctx)
+        return lock
+
+    def __exit__(self, exc_type, exc, tb):
+        table, ctx, ino = self.table, self.ctx, self.ino
+        if self.mode == "read":
+            self.lock.release_read(ctx)
+            table._pop(ctx, ino, "read")
+        else:
+            self.lock.release_write(ctx)
+            table._pop(ctx, ino, "write")
+        return False
+
+
+class _InodeManyGuard:
+    """Write locks over an inode set, canonical (ascending) order."""
+
+    __slots__ = ("table", "ctx", "inos", "held")
+
+    def __init__(self, table, ctx, inos):
+        self.table = table
+        self.ctx = ctx
+        self.inos = inos
+
+    def __enter__(self):
+        table, ctx = self.table, self.ctx
+        self.held = []
+        try:
+            for ino in sorted(set(self.inos)):
+                lock = table.lock(ino)
+                table._push(ctx, ino, "write")
+                lock.acquire_write(ctx)
+                self.held.append((ino, lock))
+        except BaseException:
+            self.__exit__(None, None, None)
+            raise
+        return None
+
+    def __exit__(self, exc_type, exc, tb):
+        # Unwind in reverse acquisition order, like ExitStack.
+        table, ctx = self.table, self.ctx
+        while self.held:
+            ino, lock = self.held.pop()
+            lock.release_write(ctx)
+            table._pop(ctx, ino, "write")
+        return False

@@ -113,15 +113,38 @@ class FCFSServers:
             raise SimulationError("negative reservation on %r" % self.name)
         request_ns = int(request_ns)
         duration_ns = int(duration_ns)
-        best_server = None
-        best_start = None
-        for server in self._servers:
-            start = server.earliest_start(request_ns, duration_ns)
-            if best_start is None or start < best_start:
-                best_start = start
-                best_server = server
-                if start == request_ns:
-                    break  # cannot do better
+        server0 = self._servers[0]
+        ends0 = server0.ends
+        if not ends0 or ends0[-1] <= request_ns:
+            # Uncontended fast path: server 0 is idle at the request time,
+            # so its earliest start *is* the request time -- and the scan
+            # below always stops at the first server that achieves that,
+            # which it visits first.  Same grant, no per-server probing;
+            # the booking lands at the tail of the timeline, so the
+            # general insert's bisect reduces to append-or-coalesce.
+            end = request_ns + duration_ns
+            if duration_ns > 0:
+                if ends0 and ends0[-1] == request_ns:
+                    ends0[-1] = end
+                else:
+                    server0.starts.append(request_ns)
+                    ends0.append(end)
+                    if len(ends0) > _MAX_INTERVALS:
+                        server0.ends[0] = server0.ends[1]
+                        del server0.starts[1], server0.ends[1]
+            self.total_busy_ns += duration_ns
+            self.total_grants += 1
+            return Reservation(request_ns, end, 0)
+        else:
+            best_server = None
+            best_start = None
+            for server in self._servers:
+                start = server.earliest_start(request_ns, duration_ns)
+                if best_start is None or start < best_start:
+                    best_start = start
+                    best_server = server
+                    if start == request_ns:
+                        break  # cannot do better
         end = best_start + duration_ns
         if duration_ns > 0:
             best_server.book(best_start, end)

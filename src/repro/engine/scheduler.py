@@ -41,23 +41,46 @@ class Scheduler:
             (t.now, next(self._counter), t) for t in self.threads if not t.finished
         ]
         heapq.heapify(heap)
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        counter = self._counter
+        advance_to = self.env.background.advance_to
+        batch = []
         while heap:
-            now, _, thread = heapq.heappop(heap)
+            now, _, thread = heappop(heap)
             if thread.finished:
                 continue
             if until_ns is not None and now >= until_ns:
                 # This is the minimum clock: every other thread is at or
                 # past the deadline too, so the run is over.
                 break
-            self.env.background.advance_to(thread.now)
-            try:
-                stepped = thread.step()
-            except DeadlockError as exc:
-                # Enrich with the whole fleet's state: the blocked thread
-                # alone rarely explains a deadlock.
-                raise exc.attach(self.diagnostics(exclude=exc.diagnostics))
-            if stepped:
-                heapq.heappush(heap, (thread.now, next(self._counter), thread))
+            # Batch wakeups: every thread parked at this same instant
+            # steps this round anyway (clocks only move forward, so a
+            # step can never re-park *below* ``now``), and heap order
+            # within one timestamp is insertion-counter order.  Draining
+            # them in one pass preserves that exact order while skipping
+            # the sift-down each intermediate pop would redo.
+            batch.append(thread)
+            while heap and heap[0][0] == now:
+                other = heappop(heap)[2]
+                if not other.finished:
+                    batch.append(other)
+            for thread in batch:
+                # Per-step, not per-batch: an earlier step in this batch
+                # may have made background work due *at* ``now`` (buffer
+                # pressure), and that work precedes the next step.  The
+                # registry's cached min-due makes the idle case O(1).
+                advance_to(thread.now)
+                try:
+                    stepped = thread.step()
+                except DeadlockError as exc:
+                    # Enrich with the whole fleet's state: the blocked
+                    # thread alone rarely explains a deadlock.
+                    raise exc.attach(
+                        self.diagnostics(exclude=exc.diagnostics))
+                if stepped:
+                    heappush(heap, (thread.now, next(counter), thread))
+            batch.clear()
         return self.elapsed_ns()
 
     def diagnostics(self, exclude=()):

@@ -53,6 +53,7 @@ ENTRY_PAYLOAD_MAX = 40
 #: Byte offset/size of the csum field inside a packed entry.
 _CSUM_OFFSET = struct.calcsize("<4sIBBHQ")
 _CSUM_SIZE = 4
+_ENTRY_PACK = struct.Struct(ENTRY_FMT).pack
 assert struct.calcsize(ENTRY_FMT) == ENTRY_SIZE
 
 
@@ -205,21 +206,19 @@ class Journal:
             raise JournalFullError(
                 "transaction %d overran the journal reserve" % tx.tx_id
             )
-        entry = struct.pack(
-            ENTRY_FMT,
-            ENTRY_MAGIC,
-            tx.tx_id,
-            kind,
-            self.gen,
-            len(payload),
-            addr,
-            0,
-            payload.ljust(ENTRY_PAYLOAD_MAX, b"\0"),
+        padded = payload.ljust(ENTRY_PAYLOAD_MAX, b"\0")
+        entry = _ENTRY_PACK(
+            ENTRY_MAGIC, tx.tx_id, kind, self.gen, len(payload), addr,
+            0, padded,
         )
         if self.checksums:
-            entry = entry[:_CSUM_OFFSET] \
-                + struct.pack("<I", entry_checksum(entry)) \
-                + entry[_CSUM_OFFSET + _CSUM_SIZE:]
+            # The csum field above is zero, so the CRC of the packed
+            # entry *is* entry_checksum(entry); repack with it filled in.
+            csum = zlib.crc32(entry) & 0xFFFFFFFF
+            entry = _ENTRY_PACK(
+                ENTRY_MAGIC, tx.tx_id, kind, self.gen, len(payload), addr,
+                csum, padded,
+            )
         # One cacheline: write, flush, fence -- the entry (including its
         # generation stamp) becomes persistent atomically.
         slot_addr = self._slot_addr(self._head)

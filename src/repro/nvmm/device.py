@@ -73,9 +73,13 @@ class NVMMDevice:
         Zero duration keeps the exported per-layer sums equal to the
         ``SimStats`` totals (the spine's core invariant) while still
         making fault sites visible in `hinfs-bench trace`.
+
+        Guards first -- tracing off, or the ``nvmm`` layer filtered out
+        of the ring -- so the fault path shares the instrumentation
+        point's disabled fast path: no span allocation, no ring traffic.
         """
         ring = self.env.trace
-        if ring is None:
+        if ring is None or not ring.wants(LAYER_NVMM):
             return
         now = ctx.now if ctx is not None else 0
         req = getattr(ctx, "trace_span", None)
@@ -180,16 +184,19 @@ class NVMMDevice:
         ctx.sync_to(grant.end_ns, category)
 
     def write_persistent(self, ctx, addr, data, category=CAT_WRITE_ACCESS):
-        """Non-temporal store: durable on return, pays full NVMM cost."""
-        data = bytes(data)
+        """Non-temporal store: durable on return, pays full NVMM cost.
+
+        ``data`` may be any bytes-like object; the slab consumes it via
+        the buffer protocol without an intermediate copy."""
+        length = len(data)
         span = getattr(ctx, "trace_span", None)
         start = ctx.now if span is not None else 0
-        self._guard_persist(ctx, addr, len(data))
+        self._guard_persist(ctx, addr, length)
         self.mem.write_nocache(addr, data)
-        nlines = lines_spanned(len(data), addr % CACHELINE_SIZE)
+        nlines = lines_spanned(length, addr % CACHELINE_SIZE)
         self._persist_lines(ctx, nlines, category)
         if not getattr(ctx, "free", False):
-            self.env.stats.bytes_written_nvmm += len(data)
+            self.env.stats.bytes_written_nvmm += length
         if span is not None:
             span.add_phase(LAYER_NVMM, start, ctx.now)
 
@@ -203,22 +210,21 @@ class NVMMDevice:
         and this is their aggregate effect.  The caller must
         ``ctx.sync_to(max(end))`` before acting on the data's durability.
         """
-        data = bytes(data)
-        self._guard_persist(ctx, addr, len(data))
+        length = len(data)
+        self._guard_persist(ctx, addr, length)
         self.mem.write_nocache(addr, data)
         if getattr(ctx, "free", False):
             return ctx.now
-        nlines = lines_spanned(len(data), addr % CACHELINE_SIZE)
+        nlines = lines_spanned(length, addr % CACHELINE_SIZE)
         if nlines <= 0:
             return ctx.now
         duration = self.config.nvmm_persist_cost_ns(nlines)
         grant = self.write_slots.reserve(ctx.now, duration)
-        self.env.stats.bytes_written_nvmm += len(data)
+        self.env.stats.bytes_written_nvmm += length
         return grant.end_ns
 
     def write_cached(self, ctx, addr, data, category=CAT_OTHERS):
         """Ordinary store: lands in the CPU cache, volatile until flushed."""
-        data = bytes(data)
         self.mem.write(addr, data)
         ctx.charge(self.config.dram_store_cost_ns(len(data)), category)
 
@@ -279,10 +285,10 @@ class DRAMDevice:
         return data
 
     def write(self, ctx, addr, data, category=CAT_WRITE_ACCESS):
-        data = bytes(data)
+        length = len(data)
         self.mem.write(addr, data)
-        ctx.charge(self.config.dram_store_cost_ns(len(data)), category)
-        self.env.stats.bytes_written_dram += len(data)
+        ctx.charge(self.config.dram_store_cost_ns(length), category)
+        self.env.stats.bytes_written_dram += length
 
     def crash(self):
         """DRAM loses everything on power failure."""

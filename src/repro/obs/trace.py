@@ -88,17 +88,26 @@ class Span:
 class TraceRing:
     """Bounded ring buffer of completed spans."""
 
-    def __init__(self, capacity=4096):
+    def __init__(self, capacity=4096, layers=None):
         if capacity <= 0:
             raise ValueError("capacity must be positive")
         self.capacity = capacity
         self._spans = deque(maxlen=capacity)
+        #: Layers this ring accepts spans for; ``None`` = all.  Spans of
+        #: a filtered-out layer take the instrumentation point's disabled
+        #: fast path: no allocation, no ring traffic.
+        self.enabled_layers = frozenset(layers) if layers is not None else None
         #: Spans recorded / evicted over the ring's lifetime.
         self.recorded = 0
         self.dropped = 0
 
     def __len__(self):
         return len(self._spans)
+
+    def wants(self, layer):
+        """Whether spans of ``layer`` should be materialised at all."""
+        enabled = self.enabled_layers
+        return enabled is None or layer in enabled
 
     def begin(self, name, thread, start_ns, req_id, layer=LAYER_VFS,
               meta=None):

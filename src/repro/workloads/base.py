@@ -26,6 +26,12 @@ def prepare_context(env):
     return FreeContext(env, "prepare")
 
 
+#: Doubled base tile: the tile for any tag is a 251-byte window into it
+#: (``(i + tag) % 251`` is a rotation of ``0..250``), so building a
+#: payload is one slice instead of a 251-step generator per call.
+_TILE2 = bytes(i % 251 for i in range(502))
+
+
 def payload(length, tag=0):
     """Cheap deterministic bytes: a 251-byte tile offset by ``tag``.
 
@@ -34,8 +40,9 @@ def payload(length, tag=0):
     """
     if length <= 0:
         return b""
-    tile = bytes((i + tag) % 251 for i in range(251))
-    reps = -(-length // len(tile))
+    start = tag % 251
+    tile = _TILE2[start : start + 251]
+    reps = -(-length // 251)
     return (tile * reps)[:length]
 
 

@@ -1,0 +1,136 @@
+"""Golden-seed equivalence fence for the hot-path engine rewrite.
+
+The PR 7 engine rewrite (slab data plane, flat-array cacheline state,
+batch wakeups, disabled-trace fast path) must preserve *bit-identical*
+virtual-time results: same seed => same SimStats counters, same
+makespan, same trace-ring contents.  This suite pins those observables
+as fixture JSON (``golden/hotpath_golden.json``) generated on the
+pre-refactor engine, so any future hot-path edit that silently changes
+virtual-time results fails here rather than drifting the paper's
+figures.
+
+The grid covers seed in {0, 1337}, writeback workers in {1, 4}, and
+ring batch depth in {1, 8} (depth 0 = the sync syscall path) across all
+five comparison stacks.  Trace-ring contents are pinned as a SHA-256
+over the canonicalised span stream -- exact, but compact enough to
+check in.
+
+Regenerate (only when an *intentional* virtual-time change lands, with
+a changelog note)::
+
+    PYTHONPATH=src python tests/engine/test_hotpath_equiv.py --regen
+"""
+
+import hashlib
+import json
+import os
+
+import pytest
+
+from repro.bench.runner import run_workload
+from repro.core import HiNFSConfig
+from repro.workloads.fio import FioWorkload, RingFioWorkload
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "golden",
+                           "hotpath_golden.json")
+
+STACKS = ("hinfs", "pmfs", "ext4-dax", "ext2-nvmmbd", "ext4-nvmmbd")
+
+#: (fs, seed, workers, depth): depth 0 is the sync path, otherwise the
+#: ring at that batch depth.  Every stack sees both seeds and both
+#: depth classes; the worker axis only changes behaviour on hinfs, so
+#: the full worker grid runs there.
+CASES = [(fs, 0, 1, 0) for fs in STACKS] + \
+        [(fs, 1337, 4, 8) for fs in STACKS] + [
+    ("hinfs", 0, 4, 1),
+    ("hinfs", 0, 4, 8),
+    ("hinfs", 1337, 1, 1),
+    ("pmfs", 0, 1, 8),
+]
+
+
+def case_key(fs, seed, workers, depth):
+    return "%s/seed%d/w%d/d%d" % (fs, seed, workers, depth)
+
+
+def run_case(fs, seed, workers, depth):
+    """One deterministic traced run; returns its full fingerprint."""
+    kwargs = dict(threads=2, ops_per_thread=50, io_size=4096,
+                  file_size=256 << 10, read_fraction=1 / 3,
+                  fsync_every=16, seed=seed)
+    if depth:
+        workload = RingFioWorkload(batch_depth=depth, **kwargs)
+    else:
+        workload = FioWorkload(**kwargs)
+    hc = HiNFSConfig(buffer_bytes=2 << 20, nr_writeback_workers=workers)
+    result = run_workload(fs, workload, device_size=32 << 20,
+                          hinfs_config=hc, trace_capacity=1 << 14)
+    stats = result.stats
+    spans = [
+        [sp.req_id, sp.name, sp.layer, sp.thread, sp.start_ns, sp.end_ns,
+         [list(p) for p in sp.phases], repr(sp.meta)]
+        for sp in result.trace.spans()
+    ]
+    span_blob = json.dumps(spans, separators=(",", ":")).encode()
+    return {
+        "ops": result.ops,
+        "elapsed_ns": result.elapsed_ns,
+        "counters": dict(stats.counters),
+        "bytes_written_nvmm": stats.bytes_written_nvmm,
+        "bytes_read_nvmm": stats.bytes_read_nvmm,
+        "bytes_written_dram": stats.bytes_written_dram,
+        "breakdown": stats.breakdown.as_dict(),
+        "syscall_time_ns": dict(stats.syscall_time_ns),
+        "syscall_counts": dict(stats.syscall_counts),
+        "layer_time_ns": dict(stats.layer_time_ns),
+        "span_count": len(spans),
+        "spans_recorded": result.trace.recorded,
+        "span_sha256": hashlib.sha256(span_blob).hexdigest(),
+    }
+
+
+def load_golden():
+    with open(GOLDEN_PATH) as fileobj:
+        return json.load(fileobj)
+
+
+@pytest.fixture(scope="module")
+def golden():
+    if not os.path.exists(GOLDEN_PATH):
+        pytest.fail("golden fixture %s missing; regenerate with "
+                    "PYTHONPATH=src python %s --regen"
+                    % (GOLDEN_PATH, __file__))
+    return load_golden()
+
+
+@pytest.mark.parametrize("fs,seed,workers,depth", CASES,
+                         ids=[case_key(*c) for c in CASES])
+def test_virtual_time_results_match_golden(golden, fs, seed, workers, depth):
+    key = case_key(fs, seed, workers, depth)
+    assert key in golden, "no golden entry for %s (regen needed?)" % key
+    got = run_case(fs, seed, workers, depth)
+    want = golden[key]
+    # Compare field by field so a mismatch names what drifted.
+    for field in sorted(want):
+        assert got[field] == want[field], (
+            "%s: %s drifted\n  golden: %r\n  got:    %r"
+            % (key, field, want[field], got[field])
+        )
+    assert sorted(got) == sorted(want)
+
+
+def regen():
+    out = {case_key(*case): run_case(*case) for case in CASES}
+    os.makedirs(os.path.dirname(GOLDEN_PATH), exist_ok=True)
+    with open(GOLDEN_PATH, "w") as fileobj:
+        json.dump(out, fileobj, indent=1, sort_keys=True)
+        fileobj.write("\n")
+    print("wrote %s (%d cases)" % (GOLDEN_PATH, len(out)))
+
+
+if __name__ == "__main__":
+    import sys
+    if "--regen" in sys.argv:
+        regen()
+    else:
+        print(__doc__)
