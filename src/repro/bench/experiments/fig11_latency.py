@@ -9,6 +9,7 @@ PMFS (the Benefit Model keeps the double copy off the path).
 from repro.bench.report import Table
 from repro.bench.runner import run_workload
 from repro.bench.experiments.common import SMALL, personality_kwargs
+from repro.engine.stats import percentiles
 from repro.workloads.filebench import Fileserver, Webproxy
 
 LATENCIES_NS = (50, 100, 200, 400, 800)
@@ -21,11 +22,19 @@ def run(scale=SMALL, latencies=LATENCIES_NS):
          "fileserver_hinfs", "fileserver_pmfs",
          "webproxy_hinfs", "webproxy_pmfs"],
     )
+    tail_table = Table(
+        "Figure 11 companion: per-op p99 latency (us), exact nearest-rank",
+        ["latency_ns",
+         "fileserver_hinfs", "fileserver_pmfs",
+         "webproxy_hinfs", "webproxy_pmfs"],
+    )
     ratios = {"fileserver": {}, "webproxy": {}}
+    tails = {"fileserver": {}, "webproxy": {}}
     classes = {"fileserver": Fileserver, "webproxy": Webproxy}
     for latency in latencies:
         config = scale.nvmm_config(nvmm_write_latency_ns=latency)
         row = [latency]
+        tail_row = [latency]
         for name, cls in classes.items():
             per_fs = {}
             for fs_name in ("hinfs", "pmfs"):
@@ -37,15 +46,27 @@ def run(scale=SMALL, latencies=LATENCIES_NS):
                     device_size=scale.device_size,
                     duration_ns=scale.duration_ns,
                     hinfs_config=scale.hinfs_config(),
+                    record_latencies=True,
                 )
                 per_fs[fs_name] = result.throughput
+                ps = percentiles(result.op_latencies_ns, (50, 99))
+                tails[name].setdefault(fs_name, {})[latency] = ps
+                tail_row.append("%.2f" % (ps[99] / 1e3))
             ratios[name][latency] = per_fs["hinfs"] / per_fs["pmfs"]
             row.extend([per_fs["hinfs"], per_fs["pmfs"]])
         table.add_row(*row)
-    return table, ratios
+        tail_table.add_row(*tail_row)
+    return [table, tail_table], {"ratios": ratios, "latency_tails": tails}
 
 
-def check_shape(ratios):
+def check_shape(data):
+    ratios = data["ratios"]
+    # The per-op tails come out of the exact nearest-rank helper and must
+    # at least be ordered and positive for every cell.
+    for name, by_fs in data["latency_tails"].items():
+        for fs_name, by_latency in by_fs.items():
+            for latency, ps in by_latency.items():
+                assert 0 < ps[50] <= ps[99], (name, fs_name, latency, ps)
     for name, by_latency in ratios.items():
         latencies = sorted(by_latency)
         # HiNFS never loses, even at DRAM-like latency.
@@ -59,6 +80,8 @@ def check_shape(ratios):
 
 
 if __name__ == "__main__":
-    table, ratios = run()
-    print(table)
-    check_shape(ratios)
+    tables, data = run()
+    for table in tables:
+        print(table)
+        print()
+    check_shape(data)

@@ -28,6 +28,7 @@ scale linearly forever and say nothing about the shared bottlenecks).
 from repro.bench.report import Series, Table
 from repro.bench.runner import run_workload
 from repro.bench.experiments.common import SMALL
+from repro.engine.stats import percentiles
 from repro.workloads.fio import FioWorkload
 
 FILE_SYSTEMS = ("hinfs", "pmfs", "ext4-dax", "ext2-nvmmbd", "ext4-nvmmbd")
@@ -45,7 +46,8 @@ def run(scale=SMALL, file_systems=FILE_SYSTEMS, thread_counts=THREAD_COUNTS,
         nr_writeback_workers=nr_writeback_workers
     )
     tables = []
-    data = {}
+    mixes_data = {}
+    latency_tails = {}
     for mix_name, read_fraction in mixes:
         table = Table(
             "Thread scalability (fio %s, %d B ops, fsync=%d): "
@@ -54,6 +56,7 @@ def run(scale=SMALL, file_systems=FILE_SYSTEMS, thread_counts=THREAD_COUNTS,
             ["threads"] + list(file_systems),
         )
         per_fs = {fs: Series(fs) for fs in file_systems}
+        tails = latency_tails.setdefault(mix_name, {})
         for threads in thread_counts:
             row = [threads]
             for fs_name in file_systems:
@@ -71,18 +74,28 @@ def run(scale=SMALL, file_systems=FILE_SYSTEMS, thread_counts=THREAD_COUNTS,
                     device_size=scale.device_size,
                     hinfs_config=hinfs_config,
                     cache_pages=scale.cache_pages,
+                    record_latencies=True,
                 )
                 per_fs[fs_name].add(threads, result.throughput)
+                # Exact nearest-rank per-op tails alongside the
+                # throughput curve -- the same queueing knee from the
+                # latency side.
+                tails.setdefault(fs_name, {})[threads] = percentiles(
+                    result.op_latencies_ns, (50, 99))
                 row.append(result.throughput)
             table.add_row(*row)
         tables.append(table)
-        data[mix_name] = per_fs
-    return tables, data
+        mixes_data[mix_name] = per_fs
+    return tables, {"mixes": mixes_data, "latency_tails": latency_tails}
 
 
 def check_shape(data):
     """The acceptance shape for the concurrency layer."""
-    for mix_name, per_fs in data.items():
+    for mix_name, tails in data["latency_tails"].items():
+        for fs_name, by_threads in tails.items():
+            for threads, ps in by_threads.items():
+                assert 0 < ps[50] <= ps[99], (mix_name, fs_name, threads, ps)
+    for mix_name, per_fs in data["mixes"].items():
         hinfs = per_fs["hinfs"].ys()
         # Monotonic rise from 1 to 4 threads on disjoint files: per-inode
         # locking means independent threads only share N_w and DRAM.

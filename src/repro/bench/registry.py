@@ -17,6 +17,7 @@ from repro.bench.experiments import (
     ring_batch,
     scale_threads,
     simspeed,
+    tenants_overload,
 )
 
 EXPERIMENTS = {
@@ -38,6 +39,7 @@ EXPERIMENTS = {
     "ring": ring_batch,
     "chaos": chaos_campaign,
     "simspeed": simspeed,
+    "tenants": tenants_overload,
 }
 
 

@@ -29,7 +29,7 @@ class RunResult:
     """Everything measured in one workload run."""
 
     def __init__(self, fs_name, workload_name, ops, elapsed_ns, stats, fs=None,
-                 trace=None):
+                 trace=None, op_latencies_ns=None):
         self.fs_name = fs_name
         self.workload_name = workload_name
         self.ops = ops
@@ -40,6 +40,10 @@ class RunResult:
         #: The :class:`~repro.obs.trace.TraceRing` of the measured run
         #: (None unless ``run_workload(..., trace_capacity=...)``).
         self.trace = trace
+        #: Per-op virtual latency samples across all threads (None unless
+        #: ``run_workload(..., record_latencies=True)``); feed these to
+        #: :func:`repro.engine.stats.percentiles` for exact tail numbers.
+        self.op_latencies_ns = op_latencies_ns
 
     @property
     def fsync_byte_fraction(self):
@@ -106,7 +110,8 @@ def build_stack(env, fs_name, config, device_size, hinfs_config=None,
 
 def run_workload(fs_name, workload, config=None, device_size=96 << 20,
                  hinfs_config=None, cache_pages=None, duration_ns=None,
-                 sync_mount=False, unmount=False, trace_capacity=None):
+                 sync_mount=False, unmount=False, trace_capacity=None,
+                 setup=None, record_latencies=False):
     """Run ``workload`` on ``fs_name``; returns a :class:`RunResult`.
 
     The fileset is pre-allocated under a free context (filebench-style);
@@ -116,6 +121,10 @@ def run_workload(fs_name, workload, config=None, device_size=96 << 20,
     completion (trace replay, macrobenchmarks).  ``trace_capacity``
     turns on the request-span trace ring for the measured phase only, so
     the exported spans and the run's stats describe the same requests.
+    ``setup(env, fs, vfs)`` runs after the stats reset and before the
+    measured threads spawn -- the hook QoS attachment uses.  With
+    ``record_latencies`` every thread samples its per-op virtual
+    latencies (see :attr:`RunResult.op_latencies_ns`).
     """
     config = config or NVMMConfig()
     env = SimEnv()
@@ -129,13 +138,16 @@ def run_workload(fs_name, workload, config=None, device_size=96 << 20,
     env.quiesce()  # idle device + background timelines at t=0
     vfs.reset_accounting()
     env.stats = SimStats()  # measurement starts now
+    if setup is not None:
+        setup(env, fs, vfs)
     if trace_capacity:
         # After the stats reset, so span totals match stats.layer_time_ns.
         env.enable_tracing(trace_capacity)
     scheduler = Scheduler(env)
     for tid in range(workload.threads):
         scheduler.spawn("%s-%d" % (workload.name, tid),
-                        _bind(workload, vfs, tid))
+                        _bind(workload, vfs, tid),
+                        record_latencies=record_latencies)
     elapsed = scheduler.run(until_ns=duration_ns)
     if duration_ns is not None:
         elapsed = max(elapsed, 1)
@@ -146,7 +158,9 @@ def run_workload(fs_name, workload, config=None, device_size=96 << 20,
         vfs.unmount(slowest.ctx)
         elapsed = slowest.now
     return RunResult(fs_name, workload.name, env.stats.ops_completed,
-                     elapsed, env.stats, fs=fs, trace=env.trace)
+                     elapsed, env.stats, fs=fs, trace=env.trace,
+                     op_latencies_ns=(scheduler.op_latencies_ns()
+                                      if record_latencies else None))
 
 
 def _bind(workload, vfs, thread_id):

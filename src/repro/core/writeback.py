@@ -112,13 +112,19 @@ class WritebackPool(BackgroundTask):
     # -- signals ------------------------------------------------------------
 
     def signal_pressure(self, now_ns):
-        """Foreground noticed free blocks < Low_f."""
+        """Foreground noticed free blocks < Low_f.
+
+        Coalescing: under sustained saturation the foreground signals on
+        every write, but only a signal that actually pulls the wakeup
+        *earlier* touches the registry -- and then via
+        :meth:`~repro.engine.background.BackgroundRegistry.note_earlier`,
+        which lowers the cached minimum in place instead of invalidating
+        it, so the PR 7 idle fast path stays warm through an overload
+        episode.
+        """
         if now_ns < self._pressure_ns:
             self._pressure_ns = now_ns
-            # The registry caches the minimum due time; this is the one
-            # path that can pull a due time *earlier* from outside
-            # run_due, so it must drop that cache.
-            self.env.background.invalidate()
+            self.env.background.note_earlier(now_ns)
 
     def demand_reclaim(self, fg_ctx):
         """The buffer is completely full: reclaim a batch *synchronously*.

@@ -59,7 +59,7 @@ class BackgroundRegistry:
     Due times move *forward* only inside ``run_due`` (where the cache is
     refreshed); the one place they move *backward* from outside is
     :meth:`~repro.core.writeback.WritebackPool.signal_pressure`, which
-    calls :meth:`invalidate`.
+    calls :meth:`note_earlier` to pull the cached minimum down in place.
     """
 
     # Safety valve against a task failing to make forward progress.
@@ -82,6 +82,21 @@ class BackgroundRegistry:
         """A task's due time changed outside ``run_due`` (it may now be
         *earlier* than the cached minimum); recompute on next use."""
         self._min_due_stale = True
+
+    def note_earlier(self, due_ns):
+        """A task's due time moved to ``due_ns`` at the earliest.
+
+        Cheaper than :meth:`invalidate` for the pressure-signal path: the
+        cached minimum only ever needs to be a *lower bound* for the
+        ``advance_to`` fast path to stay correct, so pulling it down in
+        place keeps the cache warm instead of forcing a full recompute
+        across every task.  With the cache already stale, the pending
+        recompute will see the new due time anyway.
+        """
+        if self._min_due_stale:
+            return
+        if due_ns < self._min_due_ns:
+            self._min_due_ns = due_ns
 
     def quiesce(self):
         """Rewind every registered timeline to idle t=0."""

@@ -24,10 +24,20 @@ class Scheduler:
         self.threads = []
         self._counter = itertools.count()
 
-    def spawn(self, name, body):
-        thread = SimThread(self.env, name, body)
+    def spawn(self, name, body, record_latencies=False):
+        thread = SimThread(self.env, name, body,
+                           record_latencies=record_latencies)
         self.threads.append(thread)
         return thread
+
+    def op_latencies_ns(self):
+        """All recorded per-op latency samples across threads (those
+        spawned with ``record_latencies=True``), in thread order."""
+        out = []
+        for thread in self.threads:
+            if thread.op_latencies_ns:
+                out.extend(thread.op_latencies_ns)
+        return out
 
     def run(self, until_ns=None):
         """Interleave threads min-clock-first.

@@ -19,6 +19,77 @@ CAT_WRITE_ACCESS = "write_access"
 CAT_OTHERS = "others"
 
 
+# -- exact percentiles and fairness metrics -----------------------------------
+
+
+def percentile(samples, p):
+    """Exact nearest-rank percentile of ``samples``.
+
+    Deterministic and interpolation-free: the value at 1-based rank
+    ``ceil(p/100 * n)`` of the sorted samples (the classic nearest-rank
+    definition), so the result is always an element of ``samples`` and
+    identical across platforms for identical inputs.  ``p`` in (0, 100];
+    ``p=100`` is the maximum.  Raises ``ValueError`` on empty input.
+    """
+    return percentiles(samples, (p,))[p]
+
+
+def percentiles(samples, ps=(50, 99, 99.9)):
+    """``{p: nearest-rank value}`` for each ``p`` over one sort.
+
+    The shared helper behind every latency report (tail-latency SLOs,
+    fig11, the scale experiment): one deterministic definition instead
+    of per-experiment ad-hoc math.
+    """
+    if not samples:
+        raise ValueError("percentiles of empty sample set")
+    ordered = sorted(samples)
+    n = len(ordered)
+    out = {}
+    for p in ps:
+        if not 0 < p <= 100:
+            raise ValueError("p must be in (0, 100], got %r" % (p,))
+        # Scale float ps (99.9, 99.99) to thousandths so the ceil stays
+        # pure integer math: rank = ceil(p * n / 100).
+        rank = -((-int(round(p * 1000)) * n) // 100_000)
+        out[p] = ordered[max(1, rank) - 1]
+    return out
+
+
+def fairness_spread(values):
+    """max/min ratio over per-tenant allocations (1.0 = perfectly fair).
+
+    ``inf`` when any tenant got nothing while another got something;
+    1.0 for the empty or all-zero set (nobody is ahead of anybody).
+    """
+    values = list(values)
+    if not values:
+        return 1.0
+    hi, lo = max(values), min(values)
+    if hi == 0:
+        return 1.0
+    if lo == 0:
+        return float("inf")
+    return hi / lo
+
+
+def jain_index(values):
+    """Jain's fairness index: ``(sum x)^2 / (n * sum x^2)`` in (0, 1].
+
+    1.0 when every tenant received the same amount; ``1/n`` when one
+    tenant received everything.
+    """
+    values = list(values)
+    n = len(values)
+    if n == 0:
+        return 1.0
+    total = sum(values)
+    squares = sum(v * v for v in values)
+    if squares == 0:
+        return 1.0
+    return (total * total) / (n * squares)
+
+
 class TimeBreakdown:
     """Accumulates nanoseconds per category."""
 

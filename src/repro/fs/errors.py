@@ -69,6 +69,19 @@ class ReadOnly(FSError):
     errno = _errno.EROFS
 
 
+class TryAgain(FSError):
+    """EAGAIN: the admission controller shed this request under overload.
+
+    The serving layer is saturated (DRAM buffer occupancy or NVMM writer
+    slots past their high watermark) and the request's tenant is in the
+    shed class; the client is expected to back off and retry (see
+    :class:`repro.faults.policy.RetryPolicy`) rather than queue behind a
+    collapsing backlog.
+    """
+
+    errno = _errno.EAGAIN
+
+
 class MediaError(FSError):
     """EIO: the NVMM media failed a read or a persist.
 

@@ -31,6 +31,11 @@ directly measurable from the history (the chaos campaign's MTTR metric).
 HEALTHY = "healthy"
 DEGRADED_RO = "degraded_ro"
 ISOLATED = "isolated"
+#: Observable overlay, not an FSM state: the mount is HEALTHY but the
+#: QoS admission controller reports saturation (see
+#: :mod:`repro.fs.qos`).  Kept out of ``state``/``history`` so media
+#: degradation metrics (MTTR, transition counts) are unaffected by load.
+OVERLOADED = "overloaded"
 
 
 class MountHealth:
@@ -56,6 +61,11 @@ class MountHealth:
         self.reason = None
         #: ``(from_state, to_state, at_ns, reason)`` in transition order.
         self.history = []
+        #: Overload observable (orthogonal to the media FSM): set/cleared
+        #: by the QoS admission controller's watermark hysteresis.
+        self.overloaded = False
+        #: ``(at_ns, active, reason)`` toggles, coalesced (no repeats).
+        self.overload_history = []
 
     # -- queries -----------------------------------------------------------
 
@@ -66,6 +76,14 @@ class MountHealth:
     @property
     def readable(self):
         return self.state != ISOLATED
+
+    @property
+    def observable_state(self):
+        """What monitoring sees: OVERLOADED overlays a HEALTHY mount;
+        media degradation (the real FSM) always wins over load."""
+        if self.state == HEALTHY and self.overloaded:
+            return OVERLOADED
+        return self.state
 
     def __repr__(self):
         return "MountHealth(%s, errors=%d, reason=%r)" % (
@@ -109,6 +127,23 @@ class MountHealth:
                 % self.media_errors)
             self.env.stats.bump("vfs_isolated")
         return self.state
+
+    def note_overload(self, now_ns, active, reason=None):
+        """Record an overload toggle from the admission controller.
+
+        Coalesced: repeating the current level is a no-op, so sustained
+        saturation costs one history entry per episode, not one per
+        request.  Deliberately NOT a ``_transition``: overload is load
+        posture, not media health, and must not perturb ``history`` or
+        :meth:`mttr_ns`.
+        """
+        active = bool(active)
+        if active == self.overloaded:
+            return
+        self.overloaded = active
+        self.overload_history.append((now_ns, active, reason))
+        self.env.stats.bump(
+            "health_overload_enters" if active else "health_overload_exits")
 
     def scrub_result(self, now_ns, report):
         """Feed a completed scrub pass into the FSM.

@@ -97,6 +97,9 @@ class VFS:
         )
         self.media_error_threshold = media_error_threshold
         fs.wb_error_hook = self._on_async_media_error
+        #: Per-tenant QoS controller (:class:`repro.fs.qos.QosController`)
+        #: or None; the data-path handlers consult it once per request.
+        self.qos = None
         #: Per-thread submission/completion rings (see :meth:`ring`).
         self._rings = {}
         #: THE dispatch table of the data path: every data syscall --
@@ -109,6 +112,20 @@ class VFS:
         }
         if fs.degraded_reason:
             self._remount_ro(fs.degraded_reason)
+
+    # -- QoS ---------------------------------------------------------------
+
+    def attach_qos(self, qos):
+        """Install a :class:`repro.fs.qos.QosController` on the data path.
+
+        Wires the controller to this mount's health FSM (the OVERLOADED
+        observable) and returns it.  Untenanted requests are unaffected;
+        detach by attaching ``None``.
+        """
+        self.qos = qos
+        if qos is not None:
+            qos.health = self.health
+        return qos
 
     # -- degradation / health --------------------------------------------
 
@@ -441,10 +458,12 @@ class VFS:
             raise InvalidArgument("negative offset/count")
         req = IORequest(
             self.env.next_req_id(), OP_READ, file.ino, sizes, offset,
-            flags=file.flags, syscall=sqe.syscall,
+            flags=file.flags, syscall=sqe.syscall, tenant=sqe.tenant,
         )
         with ctx.syscall(sqe.syscall, req=req):
             ring.charge_entry(ctx)
+            if self.qos is not None:
+                self.qos.admit(ctx, req)
             with self.ilocks.read_locked(ctx, file.ino):
                 with self._media_guard(ctx), ctx.layer("fs"):
                     data = self.fs.submit(ctx, req)
@@ -479,10 +498,12 @@ class VFS:
         req = IORequest(
             self.env.next_req_id(), OP_WRITE, file.ino, sqe.iovecs, offset,
             flags=file.flags, eager=eager, datasync=datasync,
-            syscall=sqe.syscall,
+            syscall=sqe.syscall, tenant=sqe.tenant,
         )
         with ctx.syscall(sqe.syscall, req=req):
             ring.charge_entry(ctx)
+            if self.qos is not None:
+                self.qos.admit(ctx, req)
             with self.ilocks.write_locked(ctx, file.ino):
                 with self._media_guard(ctx), ctx.layer("fs"):
                     written = self.fs.submit(ctx, req)
@@ -514,8 +535,10 @@ class VFS:
             req = IORequest(
                 self.env.next_req_id(), OP_SYNC, file.ino, [], 0,
                 flags=file.flags, eager=not sqe.flags & uring.IOSQE_ASYNC,
-                datasync=datasync, syscall=sqe.syscall,
+                datasync=datasync, syscall=sqe.syscall, tenant=sqe.tenant,
             )
+            if self.qos is not None:
+                self.qos.admit(ctx, req)
             with self.ilocks.write_locked(ctx, file.ino):
                 with self._media_guard(ctx), ctx.layer("fs"):
                     token = self.fs.submit(ctx, req)

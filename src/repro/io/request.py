@@ -31,10 +31,10 @@ class IORequest:
     """One in-flight data-path operation crossing the layer stack."""
 
     __slots__ = ("req_id", "op", "ino", "iovecs", "offset", "flags",
-                 "eager", "datasync", "syscall", "span")
+                 "eager", "datasync", "syscall", "span", "tenant")
 
     def __init__(self, req_id, op, ino, iovecs, offset, flags=0,
-                 eager=False, datasync=False, syscall=None):
+                 eager=False, datasync=False, syscall=None, tenant=None):
         if op not in (OP_READ, OP_WRITE, OP_SYNC):
             raise ValueError("unknown request op %r" % (op,))
         self.req_id = req_id
@@ -63,6 +63,10 @@ class IORequest:
         self.syscall = syscall or op
         #: The request's trace span while tracing is enabled, else None.
         self.span = None
+        #: Tenant id this request is billed to (multi-tenant QoS; see
+        #: :mod:`repro.fs.qos`).  ``None`` = untenanted traffic, which
+        #: the admission controller never throttles or sheds.
+        self.tenant = tenant
 
     # -- geometry ---------------------------------------------------------
 

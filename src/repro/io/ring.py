@@ -61,10 +61,10 @@ class SQE:
     """One submission-queue entry."""
 
     __slots__ = ("op", "fd", "offset", "iovecs", "flags", "fsync_flags",
-                 "user_data", "syscall")
+                 "user_data", "syscall", "tenant")
 
     def __init__(self, op, fd, offset=None, iovecs=(), flags=0,
-                 fsync_flags=0, user_data=None, syscall=None):
+                 fsync_flags=0, user_data=None, syscall=None, tenant=None):
         if op not in _OP_NAMES:
             raise InvalidArgument("unknown ring opcode %r" % (op,))
         self.op = op
@@ -83,6 +83,10 @@ class SQE:
             if op == IORING_OP_FSYNC and fsync_flags & IORING_FSYNC_DATASYNC:
                 syscall = "fdatasync"
         self.syscall = syscall
+        #: Tenant id the resulting IORequest is billed to (per-tenant SQE
+        #: tagging: a server thread multiplexing many tenants over one
+        #: ring tags each SQE, and QoS accounting follows the tag).
+        self.tenant = tenant
 
     def __repr__(self):
         return "SQE(%s fd=%d off=%r flags=%#x)" % (

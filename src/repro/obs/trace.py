@@ -32,6 +32,9 @@ LAYER_LOCK = "lock"
 LAYER_RING = "ring"
 #: Background integrity scrub passes (see :mod:`repro.fs.scrub`).
 LAYER_SCRUB = "scrub"
+#: Per-tenant QoS at the dispatch boundary (see :mod:`repro.fs.qos`):
+#: token-bucket throttle waits and admission-control backpressure.
+LAYER_QOS = "qos"
 RING_SQ_WAIT = "ring.sq_wait"
 RING_IN_FLIGHT = "ring.in_flight"
 RING_CQ_WAIT = "ring.cq_wait"

@@ -96,6 +96,44 @@ def test_one_worker_matches_pool_of_one():
     assert results[0] == results[1]
 
 
+def test_pressure_signals_coalesce_without_invalidating_cache():
+    """Repeated pressure signals under sustained saturation must not
+    re-invalidate the registry's cached background minimum: the first
+    signal pulls the wakeup earlier in place, later (no-earlier) signals
+    are pure no-ops."""
+    rig = make_rig()
+    pool = rig.fs.writeback
+    registry = rig.env.background
+    # Warm the registry cache (PR 7's idle fast path).
+    registry.advance_to(0)
+    assert not registry._min_due_stale
+    pool.signal_pressure(1_000)
+    assert pool.next_due_ns() == 1_000
+    # The cached minimum was lowered in place, not invalidated.
+    assert not registry._min_due_stale
+    assert registry._min_due_ns == 1_000
+    # Later signals at the same or later times change nothing.
+    pool.signal_pressure(1_000)
+    pool.signal_pressure(5_000)
+    assert pool.next_due_ns() == 1_000
+    assert registry._min_due_ns == 1_000
+    # An *earlier* signal still wins.
+    pool.signal_pressure(500)
+    assert pool.next_due_ns() == 500
+    assert registry._min_due_ns == 500
+
+
+def test_note_earlier_respects_stale_cache():
+    rig = make_rig()
+    registry = rig.env.background
+    registry.invalidate()
+    registry.note_earlier(42)  # stale: recompute will see it anyway
+    assert registry._min_due_stale
+    # The recompute still finds the true minimum from the tasks.
+    registry.advance_to(0)
+    assert not registry._min_due_stale
+
+
 def test_quiesce_rewinds_workers_and_signals():
     rig = make_rig(nr_writeback_workers=4)
     pool = rig.fs.writeback

@@ -1,8 +1,64 @@
-"""Unit tests for statistics accumulation."""
+"""Unit tests for statistics accumulation and the shared exact-percentile
+and fairness helpers."""
 
 import pytest
 
-from repro.engine.stats import SimStats, TimeBreakdown
+from repro.engine.stats import (
+    SimStats,
+    TimeBreakdown,
+    fairness_spread,
+    jain_index,
+    percentile,
+    percentiles,
+)
+
+
+def test_nearest_rank_percentile_small_sets():
+    # Classic nearest-rank: rank = ceil(p/100 * n), value from the set.
+    assert percentile([15, 20, 35, 40, 50], 30) == 20
+    assert percentile([15, 20, 35, 40, 50], 40) == 20
+    assert percentile([15, 20, 35, 40, 50], 50) == 35
+    assert percentile([15, 20, 35, 40, 50], 100) == 50
+    assert percentile([7], 1) == 7
+    assert percentile([7], 99.9) == 7
+
+
+def test_percentiles_one_sort_many_ps():
+    samples = list(range(1000, 0, -1))  # unsorted on purpose
+    out = percentiles(samples, (50, 99, 99.9))
+    assert out == {50: 500, 99: 990, 99.9: 999}
+    # p999 only reaches the true maximum once n >= 1000.
+    assert percentiles(list(range(1, 1002)), (99.9,))[99.9] == 1000
+
+
+def test_percentile_always_an_element():
+    samples = [3, 1, 4, 1, 5, 9, 2, 6]
+    for p in (1, 10, 25, 50, 75, 90, 99, 99.9, 100):
+        assert percentile(samples, p) in samples
+
+
+def test_percentiles_validates_input():
+    with pytest.raises(ValueError):
+        percentiles([])
+    with pytest.raises(ValueError):
+        percentiles([1], (0,))
+    with pytest.raises(ValueError):
+        percentiles([1], (101,))
+
+
+def test_fairness_spread_edges():
+    assert fairness_spread([]) == 1.0
+    assert fairness_spread([0, 0]) == 1.0
+    assert fairness_spread([5, 5, 5]) == 1.0
+    assert fairness_spread([10, 5]) == 2.0
+    assert fairness_spread([10, 0]) == float("inf")
+
+
+def test_jain_index_edges():
+    assert jain_index([]) == 1.0
+    assert jain_index([0, 0]) == 1.0
+    assert jain_index([4, 4, 4, 4]) == 1.0
+    assert jain_index([1, 0, 0, 0]) == pytest.approx(0.25)
 
 
 def test_breakdown_accumulates():

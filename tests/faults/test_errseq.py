@@ -85,6 +85,29 @@ def test_fd_opened_after_unreported_error_still_sees_it():
     rig.vfs.close(rig.ctx, fd)
 
 
+def test_fd_opened_while_degraded_ro_still_sees_unseen_error():
+    """A tenant whose fd opens during DEGRADED_RO inherits the unSEEN
+    writeback error: degradation must not retire an unreported loss."""
+    rig = _Rig()
+    rig.vfs.write_file(rig.ctx, "/a", b"x" * 4096, sync=True)
+    ino = rig.fs.lookup(rig.ctx, 1, "a")
+    rig.fs.note_wb_error(ino)
+    rig.vfs.health.force_degraded(0, "test: media error budget spent")
+    assert not rig.vfs.health.writable
+    # Opening an existing file without O_TRUNC is a read-side operation
+    # and succeeds on a read-only mount.
+    fd = rig.vfs.open(rig.ctx, "/a", f.O_RDWR)
+    with pytest.raises(MediaError):
+        rig.vfs.fsync(rig.ctx, fd)
+    rig.vfs.fsync(rig.ctx, fd)  # exactly once per fd
+    # The report flipped the SEEN bit: descriptors opened afterwards
+    # (still degraded) sample the current cursor and stay quiet.
+    fd2 = rig.vfs.open(rig.ctx, "/a", f.O_RDWR)
+    rig.vfs.fsync(rig.ctx, fd2)
+    rig.vfs.close(rig.ctx, fd2)
+    rig.vfs.close(rig.ctx, fd)
+
+
 def test_unreported_error_survives_remount():
     rig = _Rig()
     rig.vfs.write_file(rig.ctx, "/a", b"x" * 4096, sync=True)

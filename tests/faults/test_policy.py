@@ -68,6 +68,25 @@ def test_breaker_trips_after_consecutive_exhaustions():
     assert not policy.circuit_open(1_000_000)
 
 
+def test_breaker_reopens_after_cooldown_when_failures_continue():
+    policy = RetryPolicy(max_retries=0, breaker_threshold=2,
+                         breaker_cooldown_ns=1_000)
+    policy.record_failure(now_ns=0)
+    policy.record_failure(now_ns=0)
+    assert policy.circuit_open(500)
+    # Cooldown expiry half-opens the circuit with a fresh budget of
+    # consecutive failures ...
+    assert not policy.circuit_open(1_000)
+    policy.record_failure(now_ns=1_000)
+    assert not policy.circuit_open(1_000)
+    # ... but sustained failure trips it again, for a full new cooldown
+    # window anchored at the re-tripping failure.
+    policy.record_failure(now_ns=1_200)
+    assert policy.breaker_trips == 2
+    assert policy.circuit_open(2_100)
+    assert not policy.circuit_open(2_200)
+
+
 def test_success_closes_the_circuit():
     policy = RetryPolicy(max_retries=0, breaker_threshold=1)
     policy.record_failure(now_ns=0)
