@@ -14,6 +14,7 @@ from repro.bench.experiments import (
     fig11_latency,
     fig12_traces,
     fig13_macro,
+    mmap_threeway,
     ring_batch,
     scale_threads,
     simspeed,
@@ -37,6 +38,7 @@ EXPERIMENTS = {
     "abl-watermark": ablation_watermarks,
     "scale": scale_threads,
     "ring": ring_batch,
+    "mmap": mmap_threeway,
     "chaos": chaos_campaign,
     "simspeed": simspeed,
     "tenants": tenants_overload,

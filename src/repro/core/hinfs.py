@@ -611,16 +611,17 @@ class HiNFS(PMFS):
     # memory-mapped I/O (paper Section 4.2)
     # ------------------------------------------------------------------
 
-    def mmap(self, ctx, ino):
-        """Map a file directly: flush its buffered DRAM blocks first and
-        pin its blocks Eager-Persistent until munmap."""
-        region = super().mmap(ctx, ino)
+    def on_mmap(self, ctx, ino):
+        """Map-time hook: flush the file's buffered DRAM blocks first
+        and pin its blocks Eager-Persistent until munmap (mapped stores
+        bypass the file-I/O path, so nothing may be staged in DRAM)."""
         self.flush_blocks(ctx, self.buffer.file_blocks(ino))
         self._mmapped.add(ino)
-        return region
 
-    def on_munmap(self, ino):
-        self._mmapped.discard(ino)
+    def on_munmap(self, ino, region=None):
+        super().on_munmap(ino, region)
+        if not self._live_mappings(ino):
+            self._mmapped.discard(ino)
 
     # ------------------------------------------------------------------
     # namespace hooks

@@ -191,7 +191,8 @@ class ShadowImage:
 class Expectations:
     """What must hold in any crash state taken at or after a checkpoint."""
 
-    __slots__ = ("present", "absent", "fsynced", "either_present")
+    __slots__ = ("present", "absent", "fsynced", "either_present",
+                 "epoch_window")
 
     def __init__(self):
         self.present = set()   # paths that must exist
@@ -204,6 +205,10 @@ class Expectations:
         #: (old, new) pairs inside a rename window: at least one of the
         #: two names must resolve (rename atomicity).
         self.either_present = []
+        #: path -> (pre, post) inside an mmio msync/munmap window: the
+        #: epoch commit is atomic, so recovery must yield exactly the
+        #: pre-epoch or the post-epoch image -- never a blend.
+        self.epoch_window = {}
 
     def copy(self):
         out = Expectations()
@@ -211,6 +216,7 @@ class Expectations:
         out.absent = set(self.absent)
         out.fsynced = dict(self.fsynced)
         out.either_present = list(self.either_present)
+        out.epoch_window = dict(self.epoch_window)
         return out
 
 
@@ -309,13 +315,36 @@ DEFAULT_OPS = (
     ("create", "/d/e"),
 )
 
+#: Library-mode mmap sequence: map a stabilised file, store through the
+#: mapping under both log policies, commit epochs with msync, and tear
+#: the whole thing down -- every log-append, epoch-commit and checkpoint
+#: boundary becomes a crash point.  Stores stay inside the preallocated
+#: extent so the strict pre-image invariant holds between commits.
+MMIO_OPS = (
+    ("create", "/m"),
+    ("append", "/m", 8192),
+    ("fsync", "/m"),
+    ("mmap", "/m", "undo"),
+    ("mstore", "/m", 0, 200),
+    ("mstore", "/m", 4096, 64),
+    ("msync_m", "/m"),
+    ("mstore", "/m", 100, 700),
+    ("munmap", "/m"),
+    ("mmap", "/m", "redo"),
+    ("mstore", "/m", 64, 256),
+    ("mstore", "/m", 5000, 1024),
+    ("msync_m", "/m"),
+    ("mstore", "/m", 0, 64),
+    ("munmap", "/m"),
+)
+
 
 class CrashPointExplorer:
     """Run an op sequence, then test every crash state it could leave."""
 
     def __init__(self, fs_kind, seed=0, eviction_samples_per_op=64,
                  torn_samples_per_op=16, journal_checksums=True,
-                 device_bytes=4 << 20):
+                 mmio_log_checksums=True, device_bytes=4 << 20):
         if fs_kind not in ("pmfs", "hinfs"):
             raise ValueError("fs_kind must be 'pmfs' or 'hinfs'")
         self.fs_kind = fs_kind
@@ -329,6 +358,11 @@ class CrashPointExplorer:
         #: negative control: the torn-write model must then catch
         #: replayed garbage undo entries.
         self.journal_checksums = journal_checksums
+        #: Entry CRCs on the library-mode mmio epoch log.  ``False`` is
+        #: the matching negative control for the ``mmap`` op family: a
+        #: torn log append then parses as a valid record with garbage
+        #: bytes, and recovery corrupts the mapped file.
+        self.mmio_log_checksums = mmio_log_checksums
         self.device_bytes = device_bytes
         self._rng = random.Random(seed)
 
@@ -379,6 +413,10 @@ class CrashPointExplorer:
         tape = TapeRecorder()
         baseline = device.mem.persistent_snapshot()
         device.mem.observer = tape
+        #: path -> (fd, MmioMapping) for the mmap op family, plus the
+        #: staged-content model backing the epoch-window expectations.
+        self._mmaps = {}
+        self._mmio_staged = {}
 
         expect = Expectations()
         checkpoints = [(0, -1, expect.copy())]
@@ -428,11 +466,36 @@ class CrashPointExplorer:
             vfs.unlink(ctx, op[1])
         elif kind == "truncate":
             vfs.truncate(ctx, op[1], op[2])
+        elif kind == "mmap":
+            # Stabilise first (fsync), then map: the pre-epoch image is
+            # durable, so every crash state has a well-defined baseline.
+            fd = vfs.open(ctx, op[1], f.O_CREAT | f.O_RDWR)
+            vfs.fsync(ctx, fd)
+            region = vfs.mmap(ctx, fd, flags=f.MAP_ATOMIC, policy=op[2],
+                              log_blocks=4,
+                              log_checksums=self.mmio_log_checksums)
+            self._mmaps[op[1]] = (fd, region)
+        elif kind == "mstore":
+            _fd, region = self._mmaps[op[1]]
+            data = payload(op[3], op_index)
+            region.store(ctx, op[2], data)
+            # Keep the staged-content model current: it becomes the
+            # "post" side of the next commit's epoch window.
+            staged = self._mmio_staged[op[1]]
+            if op[2] + len(data) > len(staged):
+                staged.extend(b"\0" * (op[2] + len(data) - len(staged)))
+            staged[op[2]:op[2] + len(data)] = data
+        elif kind == "msync_m":
+            _fd, region = self._mmaps[op[1]]
+            region.msync(ctx)
+        elif kind == "munmap":
+            fd, region = self._mmaps.pop(op[1])
+            region.munmap(ctx)
+            vfs.close(ctx, fd)
         else:
             raise ValueError("unknown op kind %r" % (kind,))
 
-    @staticmethod
-    def _weaken(expect, op):
+    def _weaken(self, expect, op):
         """Relax expectations for the paths ``op`` is about to touch."""
         kind = op[0]
         if kind in ("create", "mkdir"):
@@ -455,6 +518,17 @@ class CrashPointExplorer:
             expect.either_present.append((old, new))
         elif kind == "truncate":
             expect.fsynced.pop(op[1], None)
+        elif kind == "mstore":
+            # Deliberately NOT weakened: an uncommitted epoch's stores
+            # are invisible to recovery, so the strict pre-epoch content
+            # expectation keeps holding through the whole store window.
+            pass
+        elif kind in ("msync_m", "munmap"):
+            # The commit window: recovery must produce exactly the
+            # pre-epoch or post-epoch image, never a blend.
+            path = op[1]
+            pre, _clean = expect.fsynced.pop(path)
+            expect.epoch_window[path] = (pre, bytes(self._mmio_staged[path]))
         return expect
 
     def _strengthen(self, expect, vfs, ctx, op):
@@ -477,6 +551,18 @@ class CrashPointExplorer:
             ]
             expect.present.add(new)
             expect.absent.add(old)
+        elif kind == "mmap":
+            # The op fsynced before mapping: the mapped baseline is
+            # durable, and every later crash state inside the epoch must
+            # recover it byte-for-byte.
+            expect.present.add(op[1])
+            content = vfs.read_file(ctx, op[1])
+            expect.fsynced[op[1]] = (content, True)
+            self._mmio_staged[op[1]] = bytearray(content)
+        elif kind in ("msync_m", "munmap"):
+            path = op[1]
+            expect.epoch_window.pop(path, None)
+            expect.fsynced[path] = (vfs.read_file(ctx, path), True)
         return expect
 
     # -- state enumeration --------------------------------------------
@@ -671,6 +757,16 @@ class CrashPointExplorer:
                 )
             elif clean and recovered[: len(data)] != data:
                 problems.append("fsynced content of %s corrupted" % path)
+        for path, (pre, post) in sorted(expect.epoch_window.items()):
+            if not vfs.exists(ctx, path):
+                problems.append("mmio-mapped file %s missing" % path)
+                continue
+            recovered = vfs.read_file(ctx, path)
+            if recovered != pre and recovered != post:
+                problems.append(
+                    "mmio epoch atomicity broken on %s: recovered image is "
+                    "neither the pre- nor the post-epoch content" % path
+                )
         return problems
 
     def _check_files(self, vfs, ctx, root="/"):
@@ -740,7 +836,8 @@ class CrashPointExplorer:
 
 def run_crashcheck(fs_kinds=("pmfs", "hinfs"), seed=0,
                    eviction_samples_per_op=64, torn_samples_per_op=16,
-                   journal_checksums=True, ops=DEFAULT_OPS):
+                   journal_checksums=True, mmio_log_checksums=True,
+                   ops=DEFAULT_OPS):
     """Explore every crash state of ``ops`` on each fs; returns reports."""
     return [
         CrashPointExplorer(
@@ -748,6 +845,7 @@ def run_crashcheck(fs_kinds=("pmfs", "hinfs"), seed=0,
             eviction_samples_per_op=eviction_samples_per_op,
             torn_samples_per_op=torn_samples_per_op,
             journal_checksums=journal_checksums,
+            mmio_log_checksums=mmio_log_checksums,
         ).explore(ops)
         for kind in fs_kinds
     ]

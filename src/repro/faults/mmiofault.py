@@ -1,0 +1,51 @@
+"""Mapping-targeted fault injection for the mmio data plane.
+
+Library-mode I/O never crosses the VFS, so request-id targeting
+(:mod:`repro.faults.reqfault`) cannot reach it.  This injector arms
+faults against *mapping operations* instead: a ``("store", ino)`` arm
+fails the next store through inode ``ino``'s atomic mapping with EIO,
+``("append", None)`` fails the next log append on any mapping, and so
+on -- letting tests ask "what does a failed epoch-log append do to the
+mapping?" without poisoning media addresses.
+
+Wire it up by setting ``fs.mmio_faults`` to an instance; the mapping
+consults it at every load/store/msync/log-append boundary.
+"""
+
+from repro.fs.errors import MediaError
+
+#: Operation points the mapping checks, in hot-path order.
+OPS = ("load", "store", "msync", "append")
+
+
+class MmioFaultInjector:
+    """Fails armed mapping operations with EIO."""
+
+    def __init__(self):
+        # (op, ino_or_None) -> remaining hit budget (-1 = unlimited).
+        self._armed = {}
+        self.hits = 0
+
+    def arm(self, op, ino=None, max_hits=1):
+        """Target ``op`` (on one inode, or any with ``ino=None``);
+        ``max_hits=None`` keeps firing.  Returns self for chaining."""
+        if op not in OPS:
+            raise ValueError("unknown mmio fault point %r" % (op,))
+        self._armed[(op, ino)] = -1 if max_hits is None else int(max_hits)
+        return self
+
+    def disarm(self, op, ino=None):
+        self._armed.pop((op, ino), None)
+
+    def check(self, op, ino):
+        """Raise EIO if ``(op, ino)`` (or the any-inode arm) is armed."""
+        for key in ((op, ino), (op, None)):
+            budget = self._armed.get(key)
+            if budget is None or budget == 0:
+                continue
+            if budget > 0:
+                self._armed[key] = budget - 1
+            self.hits += 1
+            raise MediaError(
+                "injected mmio fault at %s (ino %s)" % (op, ino)
+            )

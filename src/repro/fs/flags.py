@@ -14,6 +14,15 @@ O_SYNC = 0x1000
 #: stacks the jbd2 commit for pure overwrites) may persist lazily.
 O_DSYNC = 0x2000
 
+# mmap(2)-style mapping flags (``vfs.mmap``).
+#: Plain shared mapping: loads/stores hit NVMM directly with no
+#: atomicity guarantees beyond the hardware's 8-byte stores.
+MAP_SHARED = 0x01
+#: Library-mode atomic mapping: stores are staged through a per-file
+#: epoch log (undo or redo, Libnvmmio-style) so a crash between two
+#: ``msync`` calls recovers to an epoch boundary, never a blend.
+MAP_ATOMIC = 0x02
+
 # lseek(2) whence values.
 SEEK_SET = 0
 SEEK_CUR = 1

@@ -21,7 +21,8 @@ class MappedRegion:
         self.fs = fs
         self.ino = ino
         self.closed = False
-        # (nvmm_addr, length) ranges stored since the last msync.
+        # (file_offset, nvmm_addr, length) ranges stored since the last
+        # msync -- file offsets so a truncate can invalidate the tail.
         self._dirty_ranges = []
 
     def _require_open(self):
@@ -72,7 +73,7 @@ class MappedRegion:
             base = self._block_addr(ctx, file_block, allocate=True)
             self.fs.device.write_cached(ctx, base + in_off, bytes(view[:take]),
                                         CAT_WRITE_ACCESS)
-            self._dirty_ranges.append((base + in_off, take))
+            self._dirty_ranges.append((pos, base + in_off, take))
             pos += take
             view = view[take:]
         inode = self.fs._inode(self.ino)
@@ -90,7 +91,7 @@ class MappedRegion:
     def msync(self, ctx):
         """Flush every cacheline dirtied through this mapping."""
         self._require_open()
-        for addr, length in self._dirty_ranges:
+        for _file_offset, addr, length in self._dirty_ranges:
             self.fs.device.clflush(ctx, addr, length, CAT_WRITE_ACCESS)
         self.fs.device.fence(ctx)
         flushed = len(self._dirty_ranges)
@@ -104,4 +105,23 @@ class MappedRegion:
             return
         self.msync(ctx)
         self.closed = True
-        self.fs.on_munmap(self.ino)
+        self.fs.on_munmap(self.ino, self)
+
+    # -- truncate coherence ---------------------------------------------------
+
+    def invalidate_past(self, new_size):
+        """Drop dirty ranges past a new (smaller) EOF.
+
+        Called by the file system under ``truncate``: the blocks past
+        EOF are freed (and may be reallocated to another file), so a
+        later ``msync`` must not flush -- and a stale range must not
+        reference -- addresses this mapping no longer owns.
+        """
+        kept = []
+        for file_offset, addr, length in self._dirty_ranges:
+            if file_offset >= new_size:
+                continue
+            if file_offset + length > new_size:
+                length = new_size - file_offset
+            kept.append((file_offset, addr, length))
+        self._dirty_ranges = kept

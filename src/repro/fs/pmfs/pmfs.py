@@ -49,6 +49,13 @@ class PMFS(FileSystem):
         )
         self._maps = {}
         self._dirs = {}
+        # Live mappings: ino -> [MappedRegion] (plain), and ino -> the
+        # one MmioMapping (MAP_ATOMIC) that intercepts syscall I/O.
+        self._regions = {}
+        self._atomic_mappings = {}
+        #: Mapping-targeted fault injector
+        #: (:class:`repro.faults.mmiofault.MmioFaultInjector`) or None.
+        self.mmio_faults = None
         if not _skip_format:
             self._mkfs()
 
@@ -101,7 +108,19 @@ class PMFS(FileSystem):
             fs.degraded_reason = degraded
             env.stats.bump("mount_degraded")
         fs._rebuild_from_nvmm()
+        if degraded is None:
+            fs._mmio_recover(ctx)
         return fs
+
+    def _mmio_recover(self, ctx):
+        """Recover per-file mmio epoch logs (library-mode mappings that
+        were live at the crash).  Runs after the journal recovery and
+        the DRAM rebuild so blockmaps and sizes are already consistent;
+        the logs' own blocks are unreferenced by any blockmap, so the
+        rebuilt allocator already counts them free."""
+        from repro.io import mmio
+
+        mmio.recover(self, ctx)
 
     def _rebuild_from_nvmm(self):
         self.itable.load_from_nvmm()
@@ -184,6 +203,7 @@ class PMFS(FileSystem):
 
     def _release(self, ctx, parent_ino, name, inode):
         """Shared unlink/rmdir tail: drop the dirent, the inode, the blocks."""
+        self._invalidate_mappings(ctx, inode.ino)
         self.on_release(ctx, inode.ino)
         directory = self._dir(parent_ino)
         tx = self.journal.begin(ctx)
@@ -352,6 +372,7 @@ class PMFS(FileSystem):
         inode = self._inode(ino)
         if inode.is_dir:
             raise IsADirectory("inode %d" % ino)
+        old_size = inode.size
         tx = self.journal.begin(ctx)
         if new_size == 0:
             freed = self._map(ino).drop_all(ctx, tx)
@@ -378,6 +399,11 @@ class PMFS(FileSystem):
         inode.mtime = ctx.now
         self.itable.write_core(ctx, tx, inode)
         self.journal.commit(ctx, tx)
+        # A live mapping's staged state past the new EOF references
+        # blocks just freed (and reusable by other files): drop it.
+        if new_size < old_size:
+            for region in self._live_mappings(ino):
+                region.invalidate_past(new_size)
 
     # -- memory-mapped I/O --------------------------------------------------
 
@@ -391,17 +417,99 @@ class PMFS(FileSystem):
         blockmap.set(ctx, tx, file_block, nvmm_block)
         return nvmm_block, True
 
+    def _mmap_inode(self, ctx, ino):
+        inode = self._inode(ino)
+        if inode.is_dir:
+            raise IsADirectory("inode %d" % ino)
+        return inode
+
     def mmap(self, ctx, ino):
         """Map a file for direct access (paper Section 4.2)."""
         from repro.fs.pmfs.mmap import MappedRegion
 
-        inode = self._inode(ino)
-        if inode.is_dir:
-            raise IsADirectory("inode %d" % ino)
-        return MappedRegion(self, ino)
+        self._mmap_inode(ctx, ino)
+        self.on_mmap(ctx, ino)
+        region = MappedRegion(self, ino)
+        self._regions.setdefault(ino, []).append(region)
+        return region
 
-    def on_munmap(self, ino):
-        """Hook: HiNFS unpins the file's Eager-Persistent state here."""
+    def mmap_atomic(self, ctx, ino, length=None, policy="auto",
+                    log_blocks=4, log_checksums=True):
+        """Map a file in library mode: an epoch-logged
+        :class:`~repro.io.mmio.MmioMapping` whose loads/stores/msyncs
+        run with zero syscall charges.  While it is live, conventional
+        read/write/fsync requests on the inode route through it
+        (:meth:`submit`), keeping descriptor I/O coherent with mapped
+        stores.  One atomic mapping per inode."""
+        from repro.fs.errors import InvalidArgument
+        from repro.io.mmio import MmioMapping
+
+        self._mmap_inode(ctx, ino)
+        live = self._atomic_mappings.get(ino)
+        if live is not None and not live.closed:
+            raise InvalidArgument("inode %d already atomically mapped" % ino)
+        self.on_mmap(ctx, ino)
+        mapping = MmioMapping(self, ino, length=length, policy=policy,
+                              log_blocks=log_blocks,
+                              log_checksums=log_checksums)
+        mapping.setup(ctx)
+        self._atomic_mappings[ino] = mapping
+        return mapping
+
+    def atomic_mapping(self, ino):
+        """The inode's live MAP_ATOMIC mapping, or None."""
+        mapping = self._atomic_mappings.get(ino)
+        if mapping is not None and not mapping.closed:
+            return mapping
+        return None
+
+    def submit(self, ctx, req):
+        """Route requests on atomically-mapped inodes through the
+        mapping (POSIX coherence with library-mode stores); everything
+        else takes the normal path."""
+        mapping = self.atomic_mapping(req.ino)
+        if mapping is not None:
+            return mapping.handle_request(ctx, req)
+        return super().submit(ctx, req)
+
+    def on_mmap(self, ctx, ino):
+        """Hook: HiNFS flushes the file's buffered DRAM blocks and pins
+        it Eager-Persistent here (mapped stores bypass the buffer)."""
+
+    def on_munmap(self, ino, region=None):
+        """Hook called as a mapping closes; drops it from the registry
+        (HiNFS additionally unpins the file's Eager-Persistent state)."""
+        if region is None:
+            self._regions.pop(ino, None)
+            self._atomic_mappings.pop(ino, None)
+            return
+        regions = self._regions.get(ino)
+        if regions is not None:
+            try:
+                regions.remove(region)
+            except ValueError:
+                pass
+            if not regions:
+                del self._regions[ino]
+        if self._atomic_mappings.get(ino) is region:
+            del self._atomic_mappings[ino]
+
+    def _live_mappings(self, ino):
+        """Every live mapping of ``ino`` (plain and atomic)."""
+        out = [r for r in self._regions.get(ino, []) if not r.closed]
+        atomic = self.atomic_mapping(ino)
+        if atomic is not None:
+            out.append(atomic)
+        return out
+
+    def _invalidate_mappings(self, ctx, ino):
+        """Forcibly detach every mapping of ``ino`` (unlink/rmdir)."""
+        for region in self._regions.pop(ino, []):
+            region.closed = True
+            region._dirty_ranges = []
+        mapping = self._atomic_mappings.pop(ino, None)
+        if mapping is not None:
+            mapping.invalidate(ctx)
 
     # -- lifecycle ---------------------------------------------------------
 

@@ -648,14 +648,44 @@ class VFS:
 
     # -- memory-mapped I/O ----------------------------------------------------
 
-    def mmap(self, ctx, path):
-        """mmap(2): returns a direct-access mapping of the file."""
+    def mmap(self, ctx, fd, length=None, flags=0, policy="auto",
+             log_blocks=4, log_checksums=True):
+        """mmap(2): map an open descriptor for direct access.
+
+        This is the *last* syscall of the library-mode path: with
+        ``flags & MAP_ATOMIC`` the returned
+        :class:`~repro.io.mmio.MmioMapping`'s ``load``/``store``/
+        ``msync`` run entirely in the process -- zero syscall charges
+        after this call -- with a per-file epoch log (``policy`` picks
+        undo/redo/auto, Libnvmmio-style) keeping stores crash-atomic.
+        Without it, a plain volatile-until-msync ``MappedRegion``.
+        """
         with ctx.syscall("mmap"):
             self._syscall_entry(ctx)
-            parts = [p for p in path.split("/") if p]
-            ino = self._walk(ctx, parts)
+            file = self._file(fd)
+            if flags & f.MAP_ATOMIC:
+                self._check_writable("atomic mmap of %r" % file.path)
+                if not f.writable(file.flags):
+                    raise InvalidArgument(
+                        "MAP_ATOMIC needs a writable descriptor")
+                mmap_atomic = getattr(self.fs, "mmap_atomic", None)
+                if mmap_atomic is None:
+                    raise InvalidArgument(
+                        "%s does not support library-mode mmap"
+                        % self.fs.name)
+                with self._media_guard(ctx), ctx.layer("fs"):
+                    region = mmap_atomic(
+                        ctx, file.ino, length=length, policy=policy,
+                        log_blocks=log_blocks, log_checksums=log_checksums)
+            else:
+                fs_mmap = getattr(self.fs, "mmap", None)
+                if fs_mmap is None:
+                    raise InvalidArgument(
+                        "%s does not support mmap" % self.fs.name)
+                with self._media_guard(ctx), ctx.layer("fs"):
+                    region = fs_mmap(ctx, file.ino)
             self.env.stats.ops_completed += 1
-            return self.fs.mmap(ctx, ino)
+            return region
 
     def msync(self, ctx, region):
         with ctx.syscall("msync"):

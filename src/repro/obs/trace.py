@@ -35,6 +35,9 @@ LAYER_SCRUB = "scrub"
 #: Per-tenant QoS at the dispatch boundary (see :mod:`repro.fs.qos`):
 #: token-bucket throttle waits and admission-control backpressure.
 LAYER_QOS = "qos"
+#: The library-mode mmap data plane (see :mod:`repro.io.mmio`):
+#: zero-syscall load/store/msync spans and their epoch-log appends.
+LAYER_MMIO = "mmio"
 RING_SQ_WAIT = "ring.sq_wait"
 RING_IN_FLIGHT = "ring.in_flight"
 RING_CQ_WAIT = "ring.cq_wait"

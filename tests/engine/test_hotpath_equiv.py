@@ -11,9 +11,11 @@ figures.
 
 The grid covers seed in {0, 1337}, writeback workers in {1, 4}, and
 ring batch depth in {1, 8} (depth 0 = the sync syscall path) across all
-five comparison stacks.  Trace-ring contents are pinned as a SHA-256
-over the canonicalised span stream -- exact, but compact enough to
-check in.
+five comparison stacks, plus the library-mode mmap data plane (depth
+-1) on the stacks that support it -- those entries pin the mmio charge
+accounting exactly, including the empty ``syscall_time_ns`` ledger.
+Trace-ring contents are pinned as a SHA-256 over the canonicalised
+span stream -- exact, but compact enough to check in.
 
 Regenerate (only when an *intentional* virtual-time change lands, with
 a changelog note)::
@@ -30,6 +32,7 @@ import pytest
 from repro.bench.runner import run_workload
 from repro.core import HiNFSConfig
 from repro.workloads.fio import FioWorkload, RingFioWorkload
+from repro.workloads.mmio import MmapFioWorkload
 
 GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "golden",
                            "hotpath_golden.json")
@@ -46,11 +49,17 @@ CASES = [(fs, 0, 1, 0) for fs in STACKS] + \
     ("hinfs", 0, 4, 8),
     ("hinfs", 1337, 1, 1),
     ("pmfs", 0, 1, 8),
+    # depth -1: MAP_ATOMIC mappings on the library-mode stacks.  These
+    # pin the zero-syscall ledger and the mmio counters/spans exactly.
+    ("hinfs", 0, 1, -1),
+    ("pmfs", 1337, 1, -1),
+    ("ext4-dax", 0, 1, -1),
 ]
 
 
 def case_key(fs, seed, workers, depth):
-    return "%s/seed%d/w%d/d%d" % (fs, seed, workers, depth)
+    mech = "mmap" if depth < 0 else "d%d" % depth
+    return "%s/seed%d/w%d/%s" % (fs, seed, workers, mech)
 
 
 def run_case(fs, seed, workers, depth):
@@ -58,13 +67,18 @@ def run_case(fs, seed, workers, depth):
     kwargs = dict(threads=2, ops_per_thread=50, io_size=4096,
                   file_size=256 << 10, read_fraction=1 / 3,
                   fsync_every=16, seed=seed)
-    if depth:
+    setup = None
+    if depth < 0:
+        workload = MmapFioWorkload(**kwargs)
+        setup = workload.attach
+    elif depth:
         workload = RingFioWorkload(batch_depth=depth, **kwargs)
     else:
         workload = FioWorkload(**kwargs)
     hc = HiNFSConfig(buffer_bytes=2 << 20, nr_writeback_workers=workers)
     result = run_workload(fs, workload, device_size=32 << 20,
-                          hinfs_config=hc, trace_capacity=1 << 14)
+                          hinfs_config=hc, trace_capacity=1 << 14,
+                          setup=setup)
     stats = result.stats
     spans = [
         [sp.req_id, sp.name, sp.layer, sp.thread, sp.start_ns, sp.end_ns,

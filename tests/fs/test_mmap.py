@@ -3,6 +3,7 @@
 import pytest
 
 from repro.core import HiNFS, HiNFSConfig
+from repro.fs import flags as f
 from repro.fs.errors import InvalidArgument, IsADirectory
 
 from tests.fs.conftest import PmfsRig
@@ -18,23 +19,29 @@ def hrig():
     return PmfsRig(fs_cls=HiNFS, hconfig=HiNFSConfig(buffer_bytes=2 << 20))
 
 
+def fmap(rig, path, flags=0, **kwargs):
+    """open + mmap(2): the fd-based mapping call."""
+    fd = rig.vfs.open(rig.ctx, path, f.O_RDWR)
+    return rig.vfs.mmap(rig.ctx, fd, flags=flags, **kwargs)
+
+
 def test_mmap_read_sees_file_data(rig):
     rig.vfs.write_file(rig.ctx, "/m", b"mapped bytes" * 100)
-    region = rig.vfs.mmap(rig.ctx, "/m")
+    region = fmap(rig, "/m")
     assert region.read(rig.ctx, 0, 12) == b"mapped bytes"
     assert region.read(rig.ctx, 12, 12) == b"mapped bytes"
 
 
 def test_mmap_write_visible_through_file_io(rig):
     rig.vfs.write_file(rig.ctx, "/m", b"x" * 4096)
-    region = rig.vfs.mmap(rig.ctx, "/m")
+    region = fmap(rig, "/m")
     region.write(rig.ctx, 100, b"STORE")
     assert rig.vfs.read_file(rig.ctx, "/m")[100:105] == b"STORE"
 
 
 def test_mmap_write_volatile_until_msync(rig):
     rig.vfs.write_file(rig.ctx, "/m", b"x" * 4096)
-    region = rig.vfs.mmap(rig.ctx, "/m")
+    region = fmap(rig, "/m")
     region.write(rig.ctx, 0, b"GONE")
     rig.crash_and_remount()
     assert rig.vfs.read_file(rig.ctx, "/m")[:4] == b"xxxx"
@@ -42,7 +49,7 @@ def test_mmap_write_volatile_until_msync(rig):
 
 def test_msync_makes_stores_durable(rig):
     rig.vfs.write_file(rig.ctx, "/m", b"x" * 4096)
-    region = rig.vfs.mmap(rig.ctx, "/m")
+    region = fmap(rig, "/m")
     region.write(rig.ctx, 0, b"KEPT")
     rig.vfs.msync(rig.ctx, region)
     rig.crash_and_remount()
@@ -51,7 +58,7 @@ def test_msync_makes_stores_durable(rig):
 
 def test_mmap_extends_file_on_store_past_eof(rig):
     rig.vfs.write_file(rig.ctx, "/m", b"ab")
-    region = rig.vfs.mmap(rig.ctx, "/m")
+    region = fmap(rig, "/m")
     region.write(rig.ctx, 10_000, b"tail")
     assert rig.vfs.stat(rig.ctx, "/m").size == 10_004
     assert region.read(rig.ctx, 10_000, 4) == b"tail"
@@ -60,13 +67,13 @@ def test_mmap_extends_file_on_store_past_eof(rig):
 def test_mmap_hole_reads_zeroes(rig):
     rig.vfs.write_file(rig.ctx, "/m", b"")
     rig.vfs.truncate(rig.ctx, "/m", 8192)
-    region = rig.vfs.mmap(rig.ctx, "/m")
+    region = fmap(rig, "/m")
     assert region.read(rig.ctx, 0, 100) == b"\0" * 100
 
 
 def test_munmap_implies_msync_and_closes(rig):
     rig.vfs.write_file(rig.ctx, "/m", b"x" * 64)
-    region = rig.vfs.mmap(rig.ctx, "/m")
+    region = fmap(rig, "/m")
     region.write(rig.ctx, 0, b"SYNC")
     rig.vfs.munmap(rig.ctx, region)
     with pytest.raises(InvalidArgument):
@@ -77,21 +84,59 @@ def test_munmap_implies_msync_and_closes(rig):
 
 def test_mmap_directory_rejected(rig):
     rig.vfs.mkdir(rig.ctx, "/d")
+    # The descriptor layer already refuses to open a directory...
     with pytest.raises(IsADirectory):
-        rig.vfs.mmap(rig.ctx, "/d")
+        rig.vfs.open(rig.ctx, "/d", f.O_RDWR)
+    # ...and the inode-level guard holds for below-VFS callers too.
+    ino = rig.vfs.stat(rig.ctx, "/d").ino
+    with pytest.raises(IsADirectory):
+        rig.fs.mmap(rig.ctx, ino)
+
+
+def test_mmap_of_bad_fd_rejected(rig):
+    from repro.fs.errors import BadFileDescriptor
+
+    with pytest.raises(BadFileDescriptor):
+        rig.vfs.mmap(rig.ctx, 999)
+
+
+def test_truncate_invalidates_dirty_ranges_past_eof(rig):
+    """Regression: a truncate under a live mapping frees blocks past the
+    new EOF; stale dirty ranges must not make msync flush -- or keep
+    addresses into -- blocks the file no longer owns."""
+    rig.vfs.write_file(rig.ctx, "/m", b"x" * (3 * 4096))
+    region = fmap(rig, "/m")
+    region.write(rig.ctx, 0, b"HEAD")
+    region.write(rig.ctx, 2 * 4096, b"TAIL")   # will fall past new EOF
+    assert len(region._dirty_ranges) == 2
+    rig.vfs.truncate(rig.ctx, "/m", 4096)
+    # Only the surviving range remains; msync flushes just that one.
+    assert [r[0] for r in region._dirty_ranges] == [0]
+    assert region.msync(rig.ctx) == 1
+    assert rig.vfs.read_file(rig.ctx, "/m")[:4] == b"HEAD"
+
+
+def test_truncate_clamps_straddling_dirty_range(rig):
+    rig.vfs.write_file(rig.ctx, "/m", b"x" * 8192)
+    region = fmap(rig, "/m")
+    region.write(rig.ctx, 4090, b"A" * 12)     # straddles the 4096 cut
+    rig.vfs.truncate(rig.ctx, "/m", 4096)
+    (file_offset, _addr, length), = region._dirty_ranges
+    assert (file_offset, length) == (4090, 6)
+    region.msync(rig.ctx)
 
 
 def test_hinfs_mmap_flushes_buffered_blocks(hrig):
     hrig.vfs.write_file(hrig.ctx, "/m", b"buffered" * 512)  # lazy, in DRAM
     assert hrig.fs.buffer.used_blocks > 0
-    region = hrig.vfs.mmap(hrig.ctx, "/m")
+    region = fmap(hrig, "/m")
     assert hrig.fs.buffer.file_blocks(hrig.vfs.stat(hrig.ctx, "/m").ino) == []
     assert region.read(hrig.ctx, 0, 8) == b"buffered"
 
 
 def test_hinfs_mmapped_file_writes_bypass_buffer(hrig):
     hrig.vfs.write_file(hrig.ctx, "/m", b"x" * 4096)
-    region = hrig.vfs.mmap(hrig.ctx, "/m")
+    region = fmap(hrig, "/m")
     eager_before = hrig.env.stats.count("hinfs_eager_writes")
     fd = hrig.vfs.open(hrig.ctx, "/m")
     hrig.vfs.pwrite(hrig.ctx, fd, 0, b"direct!")
@@ -99,12 +144,24 @@ def test_hinfs_mmapped_file_writes_bypass_buffer(hrig):
     # And the store is immediately durable (no buffer staging).
     hrig.crash_and_remount()
     assert hrig.vfs.read_file(hrig.ctx, "/m")[:7] == b"direct!"
+    assert region is not None
 
 
 def test_hinfs_munmap_unpins(hrig):
     hrig.vfs.write_file(hrig.ctx, "/m", b"x" * 4096)
     ino = hrig.vfs.stat(hrig.ctx, "/m").ino
-    region = hrig.vfs.mmap(hrig.ctx, "/m")
+    region = fmap(hrig, "/m")
     assert ino in hrig.fs._mmapped
     hrig.vfs.munmap(hrig.ctx, region)
+    assert ino not in hrig.fs._mmapped
+
+
+def test_hinfs_stays_pinned_while_second_mapping_lives(hrig):
+    hrig.vfs.write_file(hrig.ctx, "/m", b"x" * 4096)
+    ino = hrig.vfs.stat(hrig.ctx, "/m").ino
+    first = fmap(hrig, "/m")
+    second = fmap(hrig, "/m")
+    hrig.vfs.munmap(hrig.ctx, first)
+    assert ino in hrig.fs._mmapped
+    hrig.vfs.munmap(hrig.ctx, second)
     assert ino not in hrig.fs._mmapped

@@ -9,6 +9,13 @@ namespace must agree across all six.  This is the conformance fence the
 concurrency refactor is locked in by: per-inode locking and parallel
 writeback must never change what a syscall returns.
 
+The machine also drives the library-mode mmap plane: on stacks that
+support ``MAP_ATOMIC`` (the PMFS family) it creates real mappings and
+interleaves ``store``/``load``/``msync`` with descriptor reads, writes
+and truncates on the same file; the block-device stacks emulate the
+mapping with pwrite/pread on a held descriptor.  POSIX coherence means
+the mapped and emulated stacks must still agree byte-for-byte.
+
 A second property applies per-thread op scripts on *disjoint* files
 through the real scheduler with 2-4 threads: interleaving may change
 timing, never data.
@@ -171,6 +178,9 @@ class DifferentialOracle(RuleBasedStateMachine):
         self.stacks = [OracleStack(name) for name in ORACLE_FS]
         self.ref = RefModel()
         self._next_handle = 0
+        #: path -> per-stack [("real", fd, region) | ("emul", fd, None)]
+        #: for live MAP_ATOMIC mappings (emulated on kernel-only stacks).
+        self.mappings = {}
 
     def check_all(self, expected, per_stack):
         for stack, got in zip(self.stacks, per_stack):
@@ -219,8 +229,9 @@ class DifferentialOracle(RuleBasedStateMachine):
         # Renaming over (or moving) a file some handle still has open
         # drops an inode under a live descriptor; POSIX keeps such
         # descriptors usable, the stacks reuse the inode -- out of the
-        # oracle's scope, like open-unlinked files.
-        if {old, new} & self.ref.open_paths():
+        # oracle's scope, like open-unlinked files.  Mapped paths hold a
+        # descriptor too (the mapping's own fd).
+        if {old, new} & (self.ref.open_paths() | set(self.mappings)):
             return
         expected = outcome(self.ref.rename, old, new)
         self.check_all(expected, [
@@ -230,7 +241,7 @@ class DifferentialOracle(RuleBasedStateMachine):
 
     @rule(path=st.sampled_from(PATHS))
     def unlink(self, path):
-        if path in self.ref.open_paths():
+        if path in self.ref.open_paths() or path in self.mappings:
             return
         expected = outcome(self.ref.unlink, path)
         self.check_all(expected, [
@@ -285,6 +296,87 @@ class DifferentialOracle(RuleBasedStateMachine):
     def fdatasync(self, handle):
         for stack in self.stacks:
             stack.vfs.fdatasync(stack.ctx, stack.fds[handle])
+
+    # -- library-mode mmap rules -----------------------------------------
+    # Mapped stores interleave with the descriptor rules above on the
+    # same paths: reads and fsyncs on a mapped file are routed through
+    # the mapping by the PMFS-family stacks, and truncate must stay
+    # coherent with staged stores.  Content must agree across the real
+    # mappings, the emulating stacks, and the model.
+
+    @rule(path=st.sampled_from(PATHS),
+          policy=st.sampled_from(["auto", "undo", "redo"]))
+    def mmap_atomic(self, path, policy):
+        if path in self.mappings or path not in self.ref.namespace:
+            return
+        per_stack = []
+        for stack in self.stacks:
+            fd = stack.vfs.open(stack.ctx, path, f.O_RDWR)
+            if hasattr(stack.fs, "mmap_atomic"):
+                region = stack.vfs.mmap(stack.ctx, fd, flags=f.MAP_ATOMIC,
+                                        policy=policy)
+                per_stack.append(("real", fd, region))
+            else:
+                per_stack.append(("emul", fd, None))
+        self.mappings[path] = per_stack
+
+    @rule(path=st.sampled_from(PATHS), offset=st.integers(0, 24 << 10),
+          size=st.integers(1, 2048), tag=st.integers(0, 255))
+    def mstore(self, path, offset, size, tag):
+        entry = self.mappings.get(path)
+        if entry is None:
+            return
+        data = bytes([tag]) * size
+        self.ref.namespace[path].pwrite(offset, data)
+        for stack, (kind, fd, region) in zip(self.stacks, entry):
+            if kind == "real":
+                assert region.store(stack.ctx, offset, data) == size
+            else:
+                stack.vfs.pwrite(stack.ctx, fd, offset, data)
+
+    @rule(path=st.sampled_from(PATHS), offset=st.integers(0, 24 << 10),
+          count=st.integers(1, 4096))
+    def mload(self, path, offset, count):
+        entry = self.mappings.get(path)
+        if entry is None:
+            return
+        file = self.ref.namespace[path]
+        # Clamp to EOF: a real load past the last page would fault, and
+        # the bytes between size and the end of the last block are
+        # unspecified -- the oracle compares the defined range only.
+        avail = max(0, min(count, len(file.data) - offset))
+        expected = ("ok", file.pread(offset, avail))
+        got = []
+        for stack, (kind, fd, region) in zip(self.stacks, entry):
+            if avail == 0:
+                got.append(("ok", b""))
+            elif kind == "real":
+                got.append(outcome(region.load, stack.ctx, offset, avail))
+            else:
+                got.append(outcome(stack.vfs.pread, stack.ctx, fd, offset,
+                                   avail))
+        self.check_all(expected, got)
+
+    @rule(path=st.sampled_from(PATHS))
+    def msync_mapping(self, path):
+        entry = self.mappings.get(path)
+        if entry is None:
+            return
+        for stack, (kind, fd, region) in zip(self.stacks, entry):
+            if kind == "real":
+                region.msync(stack.ctx)
+            else:
+                stack.vfs.fsync(stack.ctx, fd)
+
+    @rule(path=st.sampled_from(PATHS))
+    def munmap_mapping(self, path):
+        entry = self.mappings.pop(path, None)
+        if entry is None:
+            return
+        for stack, (kind, fd, region) in zip(self.stacks, entry):
+            if kind == "real":
+                stack.vfs.munmap(stack.ctx, region)
+            stack.vfs.close(stack.ctx, fd)
 
     # -- metadata reads --------------------------------------------------
 
@@ -351,6 +443,32 @@ DifferentialOracle.TestCase.settings = settings(
     max_examples=12, stateful_step_count=30, deadline=None,
 )
 TestDifferentialOracle = DifferentialOracle.TestCase
+
+
+def test_mmio_rules_deterministic_smoke():
+    """Drive every mmap rule once, interleaved with descriptor I/O and a
+    truncate on the same path -- the fixed sequence Hypothesis may or
+    may not generate, pinned so the mmio coherence path always runs."""
+    machine = DifferentialOracle()
+    machine.build_stacks()
+    try:
+        handle = machine.open("/f0", create=True, trunc=False, append=False)
+        machine.write(handle, b"base" * 1024)          # 4096 bytes
+        for policy in ("undo", "redo"):
+            machine.mmap_atomic("/f0", policy)
+            machine.mstore("/f0", 100, 512, 0xAB)
+            machine.mload("/f0", 0, 1024)
+            machine.read(handle, 256)                  # routed read
+            machine.msync_mapping("/f0")
+            machine.mstore("/f0", 6000, 300, 0xCD)     # extends the file
+            machine.fstat(handle)
+            machine.truncate("/f0", 4096)              # cuts staged tail
+            machine.mload("/f0", 3900, 400)
+            machine.munmap_mapping("/f0")
+            machine.namespaces_agree()
+        machine.close(handle)
+    finally:
+        machine.teardown()
 
 
 # -- multi-threaded: disjoint files through the real scheduler -----------

@@ -1,0 +1,345 @@
+"""Tests for the library-mode mmap data plane (repro.io.mmio).
+
+The properties under test, in rough order of importance:
+
+- **zero syscalls**: once a ``MAP_ATOMIC`` mapping exists, its
+  load/store/msync ops never touch the syscall ledger;
+- **epoch atomicity**: a crash recovers the pre-epoch or post-epoch
+  image under both the undo and redo policies, never a blend;
+- **POSIX coherence**: descriptor I/O on a mapped file is routed
+  through the mapping, so reads see staged stores and fsync commits
+  the open epoch.
+"""
+
+import pytest
+
+from repro.engine.stats import CAT_WRITE_ACCESS
+from repro.faults.mmiofault import MmioFaultInjector
+from repro.fs import flags as f
+from repro.fs.errors import InvalidArgument, MediaError
+from repro.io import mmio
+from repro.nvmm.config import CACHELINE_SIZE
+
+from tests.fs.conftest import PmfsRig
+
+
+@pytest.fixture()
+def rig():
+    return PmfsRig()
+
+
+def amap(rig, path, data=b"x" * 8192, **kwargs):
+    """Create a file and map it MAP_ATOMIC; returns (fd, mapping)."""
+    rig.vfs.write_file(rig.ctx, path, data)
+    fd = rig.vfs.open(rig.ctx, path, f.O_RDWR)
+    region = rig.vfs.mmap(rig.ctx, fd, flags=f.MAP_ATOMIC, **kwargs)
+    return fd, region
+
+
+def dirty_store_lines(rig, region):
+    """Line indices of the mapping's in-place (undo) stores that are
+    still sitting dirty in the CPU cache."""
+    dirty = set(rig.device.mem.dirty_line_indices())
+    want = set()
+    for _foff, addr, length in region._dirty_ranges:
+        first = addr // CACHELINE_SIZE
+        last = (addr + length - 1) // CACHELINE_SIZE
+        want.update(range(first, last + 1))
+    return sorted(want & dirty)
+
+
+# -- the tentpole property: zero syscall charges --------------------------
+
+
+def test_mapped_ops_charge_zero_syscall_time(rig):
+    _fd, region = amap(rig, "/m")
+    ledger_before = dict(rig.env.stats.syscall_time_ns)
+    t0 = rig.ctx.now
+    for i in range(32):
+        region.store(rig.ctx, i * 64, b"Z" * 64)
+        region.load(rig.ctx, i * 64, 64)
+    region.msync(rig.ctx)
+    # Work happened (virtual time moved, ops were counted)...
+    assert rig.ctx.now > t0
+    assert rig.env.stats.count("mmio_stores") == 32
+    assert rig.env.stats.count("mmio_loads") == 32
+    assert rig.env.stats.count("mmio_epochs_committed") == 1
+    # ...but the syscall ledger never moved: library mode, no kernel.
+    assert dict(rig.env.stats.syscall_time_ns) == ledger_before
+
+
+def test_mmio_time_lands_in_the_mmio_layer(rig):
+    _fd, region = amap(rig, "/m")
+    rig.env.enable_tracing(capacity=256)
+    region.store(rig.ctx, 0, b"hello")
+    region.msync(rig.ctx)
+    assert rig.env.stats.layer_time_ns.get("mmio", 0) > 0
+    names = [sp.name for sp in rig.env.trace.spans()]
+    assert "mmio.store" in names and "mmio.msync" in names
+
+
+# -- undo policy ----------------------------------------------------------
+
+
+def test_undo_msync_is_durable(rig):
+    _fd, region = amap(rig, "/m", policy="undo")
+    region.store(rig.ctx, 100, b"DURABLE")
+    region.msync(rig.ctx)
+    rig.crash_and_remount()
+    assert rig.vfs.read_file(rig.ctx, "/m")[100:107] == b"DURABLE"
+
+
+def test_undo_uncommitted_epoch_rolls_back(rig):
+    """In-place stores that leaked to media (cache eviction) before the
+    epoch committed must be rolled back from the undo log."""
+    _fd, region = amap(rig, "/m", data=b"a" * 8192, policy="undo")
+    region.store(rig.ctx, 0, b"TORN" * 16)
+    region.store(rig.ctx, 4096, b"TORN" * 16)
+    evict = dirty_store_lines(rig, region)
+    assert evict, "undo stores should sit dirty in the cache"
+    rig.crash_and_remount(evict_lines=evict)
+    # The evicted new bytes reached media, but recovery restored the
+    # pre-epoch image from the undo entries.
+    assert rig.env.stats.count("mmio_logs_recovered") == 1
+    assert rig.env.stats.count("mmio_recovered_rollbacks") == 1
+    data = rig.vfs.read_file(rig.ctx, "/m")
+    assert data == b"a" * 8192
+
+
+def test_undo_partial_eviction_still_rolls_back(rig):
+    """Only SOME of the epoch's stores reached media: recovery must
+    still produce the clean pre-epoch image (no blend)."""
+    _fd, region = amap(rig, "/m", data=b"b" * 8192, policy="undo")
+    region.store(rig.ctx, 0, b"X" * 64)
+    region.store(rig.ctx, 4096, b"Y" * 64)
+    evict = dirty_store_lines(rig, region)[:1]
+    rig.crash_and_remount(evict_lines=evict)
+    assert rig.vfs.read_file(rig.ctx, "/m") == b"b" * 8192
+
+
+# -- redo policy ----------------------------------------------------------
+
+
+def test_redo_store_stages_in_overlay_until_msync(rig):
+    _fd, region = amap(rig, "/m", data=b"c" * 4096, policy="redo")
+    region.store(rig.ctx, 10, b"STAGED")
+    # The mapping's own loads see the overlay...
+    assert region.load(rig.ctx, 10, 6) == b"STAGED"
+    # ...and so does descriptor I/O (routed through the mapping).
+    assert rig.vfs.read_file(rig.ctx, "/m")[10:16] == b"STAGED"
+    # But in-place NVMM is untouched until the commit:
+    rig.crash_and_remount()
+    assert rig.vfs.read_file(rig.ctx, "/m") == b"c" * 4096
+
+
+def test_redo_msync_is_durable(rig):
+    _fd, region = amap(rig, "/m", data=b"c" * 4096, policy="redo")
+    region.store(rig.ctx, 10, b"STAGED")
+    region.msync(rig.ctx)
+    rig.crash_and_remount()
+    assert rig.vfs.read_file(rig.ctx, "/m")[10:16] == b"STAGED"
+
+
+def test_redo_committed_epoch_reapplies_after_crash_mid_apply(rig):
+    """Crash between the commit word and the in-place apply: recovery
+    must finish the apply from the redo entries."""
+    _fd, region = amap(rig, "/m", data=b"d" * 8192, policy="redo")
+    region.store(rig.ctx, 0, b"NEW" * 100)
+    region.store(rig.ctx, 5000, b"TAIL")
+    # Commit the epoch by hand -- entries are already persistent -- and
+    # crash before any in-place apply runs.
+    region.log.commit(rig.ctx, region.log.committed + 1)
+    rig.crash_and_remount()
+    assert rig.env.stats.count("mmio_recovered_applies") == 1
+    data = rig.vfs.read_file(rig.ctx, "/m")
+    assert data[:300] == b"NEW" * 100
+    assert data[5000:5004] == b"TAIL"
+    assert data[300:5000] == b"d" * 4700
+
+
+# -- auto policy and log pressure -----------------------------------------
+
+
+def test_auto_policy_tracks_previous_epoch_mix(rig):
+    _fd, region = amap(rig, "/m", policy="auto")
+    # First epoch defaults to undo (no history).
+    region.store(rig.ctx, 0, b"w")
+    assert region._epoch_policy == mmio.POLICY_UNDO
+    region.msync(rig.ctx)
+    # That epoch was store-heavy (1 store, 0 loads) -> next goes redo.
+    region.store(rig.ctx, 0, b"w")
+    assert region._epoch_policy == mmio.POLICY_REDO
+    for _ in range(3):
+        region.load(rig.ctx, 0, 1)
+    region.msync(rig.ctx)
+    # Read-heavy epoch -> back to undo.
+    region.store(rig.ctx, 0, b"w")
+    assert region._epoch_policy == mmio.POLICY_UNDO
+    region.msync(rig.ctx)
+
+
+def test_log_full_autocommits_and_retries(rig):
+    _fd, region = amap(rig, "/m", data=b"e" * 8192, policy="undo",
+                       log_blocks=1)
+    # Each 2048-byte store costs 33 log lines; a 64-line block fills
+    # after the second store, forcing an automatic epoch commit.
+    for i in range(4):
+        region.store(rig.ctx, i * 2048, b"F" * 2048)
+    assert rig.env.stats.count("mmio_autocommits") >= 1
+    region.msync(rig.ctx)
+    rig.crash_and_remount()
+    assert rig.vfs.read_file(rig.ctx, "/m") == b"F" * 8192
+
+
+def test_oversized_single_entry_is_rejected(rig):
+    _fd, region = amap(rig, "/m")
+    with pytest.raises(InvalidArgument):
+        region.log.append(rig.ctx, mmio.KIND_UNDO, 1, 0, b"x" * 4096)
+
+
+# -- syscall routing (POSIX coherence) ------------------------------------
+
+
+def test_pwrite_on_mapped_file_routes_through_mapping(rig):
+    fd, region = amap(rig, "/m", data=b"f" * 4096, policy="redo")
+    routed = rig.env.stats.count("mmio_routed")
+    rig.vfs.pwrite(rig.ctx, fd, 50, b"VIA-FD")
+    assert rig.env.stats.count("mmio_routed") == routed + 1
+    # The write joined the mapping's epoch: visible to loads, staged
+    # (not yet in place) like any other redo store.
+    assert region.load(rig.ctx, 50, 6) == b"VIA-FD"
+    rig.crash_and_remount()
+    assert rig.vfs.read_file(rig.ctx, "/m") == b"f" * 4096
+
+
+def test_fsync_on_mapped_file_commits_the_epoch(rig):
+    fd, region = amap(rig, "/m", data=b"g" * 4096, policy="redo")
+    region.store(rig.ctx, 0, b"COMMIT-ME")
+    epochs = rig.env.stats.count("mmio_epochs_committed")
+    rig.vfs.fsync(rig.ctx, fd)
+    assert rig.env.stats.count("mmio_epochs_committed") == epochs + 1
+    rig.crash_and_remount()
+    assert rig.vfs.read_file(rig.ctx, "/m")[:9] == b"COMMIT-ME"
+
+
+def test_read_on_mapped_file_sees_staged_stores(rig):
+    fd, region = amap(rig, "/m", data=b"h" * 4096, policy="redo")
+    region.store(rig.ctx, 4090, b"TAILBYTES")  # extends the file
+    assert rig.vfs.stat(rig.ctx, "/m").size == 4099
+    out = rig.vfs.pread(rig.ctx, fd, 4090, 100)
+    assert out == b"TAILBYTES"
+
+
+# -- lifecycle ------------------------------------------------------------
+
+
+def test_munmap_commits_and_frees_log_blocks(rig):
+    rig.vfs.write_file(rig.ctx, "/m", b"i" * 4096)
+    fd = rig.vfs.open(rig.ctx, "/m", f.O_RDWR)
+    free0 = rig.fs.balloc.free_count
+    region = rig.vfs.mmap(rig.ctx, fd, flags=f.MAP_ATOMIC, log_blocks=4)
+    assert rig.fs.balloc.free_count == free0 - 5  # head + 4 payload
+    region.store(rig.ctx, 0, b"LAST")
+    region.munmap(rig.ctx)
+    assert rig.fs.balloc.free_count == free0
+    rig.crash_and_remount()
+    assert rig.vfs.read_file(rig.ctx, "/m")[:4] == b"LAST"
+    assert rig.env.stats.count("mmio_logs_recovered") == 0
+
+
+def test_unlink_of_mapped_file_invalidates_mapping(rig):
+    fd, region = amap(rig, "/m")
+    region.store(rig.ctx, 0, b"doomed")
+    rig.vfs.unlink(rig.ctx, "/m")
+    rig.vfs.close(rig.ctx, fd)  # last ref: _release invalidates
+    assert region.closed
+    with pytest.raises(InvalidArgument):
+        region.store(rig.ctx, 0, b"nope")
+    # Nothing dangles: a remount finds no log to recover.
+    rig.crash_and_remount()
+    assert rig.env.stats.count("mmio_logs_recovered") == 0
+
+
+def test_double_atomic_map_rejected(rig):
+    fd, _region = amap(rig, "/m")
+    with pytest.raises(InvalidArgument):
+        rig.vfs.mmap(rig.ctx, fd, flags=f.MAP_ATOMIC)
+
+
+def test_atomic_map_needs_writable_fd(rig):
+    rig.vfs.write_file(rig.ctx, "/m", b"j" * 64)
+    fd = rig.vfs.open(rig.ctx, "/m", f.O_RDONLY)
+    with pytest.raises(InvalidArgument):
+        rig.vfs.mmap(rig.ctx, fd, flags=f.MAP_ATOMIC)
+
+
+def test_atomic_map_unsupported_on_kernel_only_stacks(rig):
+    from repro.bench.runner import build_stack
+
+    from repro.engine.context import ExecContext
+    from repro.engine.env import SimEnv
+    from repro.nvmm.config import NVMMConfig
+
+    env = SimEnv()
+    ctx = ExecContext(env, "test")
+    # ext4-dax inherits the PMFS data plane (Libnvmmio ran on ext4-DAX
+    # in reality) -- the block-device stacks are the ones that cannot.
+    _fs, vfs = build_stack(env, "ext2-nvmmbd", NVMMConfig(), 8 << 20)
+    vfs.write_file(ctx, "/m", b"k" * 64)
+    fd = vfs.open(ctx, "/m", f.O_RDWR)
+    with pytest.raises(InvalidArgument):
+        vfs.mmap(ctx, fd, flags=f.MAP_ATOMIC)
+
+
+def test_truncate_trims_redo_overlay(rig):
+    _fd, region = amap(rig, "/m", data=b"l" * 8192, policy="redo")
+    region.store(rig.ctx, 0, b"KEEP")
+    region.store(rig.ctx, 6000, b"CUT")
+    rig.vfs.truncate(rig.ctx, "/m", 4096)
+    assert [off for off, _data in region._overlay] == [0]
+    region.msync(rig.ctx)
+    data = rig.vfs.read_file(rig.ctx, "/m")
+    assert data[:4] == b"KEEP" and len(data) == 4096
+
+
+# -- fault injection and integrity knobs ----------------------------------
+
+
+def test_fault_injector_arms_per_op(rig):
+    _fd, region = amap(rig, "/m")
+    rig.fs.mmio_faults = MmioFaultInjector()
+    rig.fs.mmio_faults.arm("store", max_hits=1)
+    with pytest.raises(MediaError):
+        region.store(rig.ctx, 0, b"boom")
+    # Budget exhausted: the next store goes through.
+    region.store(rig.ctx, 0, b"fine")
+    rig.fs.mmio_faults.arm("msync", ino=region.ino)
+    with pytest.raises(MediaError):
+        region.msync(rig.ctx)
+    rig.fs.mmio_faults.disarm("msync", ino=region.ino)
+    region.msync(rig.ctx)
+
+
+def test_checksums_off_still_works_without_crashes(rig):
+    """log_checksums=False is the negative control for the crash
+    explorer; on the happy path it must behave identically."""
+    _fd, region = amap(rig, "/m", data=b"m" * 4096, log_checksums=False)
+    region.store(rig.ctx, 0, b"UNSAFE")
+    region.msync(rig.ctx)
+    rig.crash_and_remount()
+    assert rig.vfs.read_file(rig.ctx, "/m")[:6] == b"UNSAFE"
+
+
+def test_stale_log_blocks_do_not_parse_after_reuse(rig):
+    """A freed log block later re-allocated to a NEW mapping must never
+    leak old entries into a recovery scan: the per-incarnation token
+    makes prior-life bytes unparseable."""
+    fd, region = amap(rig, "/m", data=b"n" * 4096, policy="undo")
+    region.store(rig.ctx, 0, b"OLDLOG")
+    region.munmap(rig.ctx)
+    # Remap: very likely reuses the just-freed blocks.
+    region2 = rig.vfs.mmap(rig.ctx, fd, flags=f.MAP_ATOMIC, policy="undo")
+    assert region2.log.scan_media() == []
+    region2.store(rig.ctx, 10, b"NEWLOG")
+    entries = region2.log.scan_media()
+    assert [e.file_offset for e in entries] == [10]
