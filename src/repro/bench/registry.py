@@ -17,6 +17,7 @@ from repro.bench.experiments import (
     mmap_threeway,
     ring_batch,
     scale_threads,
+    shard_scaling,
     simspeed,
     tenants_overload,
 )
@@ -42,6 +43,7 @@ EXPERIMENTS = {
     "chaos": chaos_campaign,
     "simspeed": simspeed,
     "tenants": tenants_overload,
+    "shard": shard_scaling,
 }
 
 

@@ -78,13 +78,25 @@ class RunResult:
 
 def build_stack(env, fs_name, config, device_size, hinfs_config=None,
                 cache_pages=None, sync_mount=False):
-    """Construct (fs, vfs) for any comparison file system."""
+    """Construct (fs, vfs) for any comparison file system.
+
+    A ``base@M`` name (e.g. ``hinfs@4``) builds a sharded mount: M
+    independent NVMM devices, each in its own resource domain, behind
+    one :class:`~repro.fs.shard.ShardedFS` and the unchanged VFS.
+    ``device_size`` is then per device.
+    """
     hinfs_config = hinfs_config or HiNFSConfig()
     if cache_pages is None:
         # The paper gives the block-based stacks 3 GB of page cache next
         # to a 5 GB dataset; scale the same ratio to the device size.
         cache_pages = max(64, int(device_size * 0.6) // 4096)
-    if fs_name in ("hinfs", "hinfs-nclfw", "hinfs-wb"):
+    base, sep, nshards = fs_name.partition("@")
+    if sep:
+        from repro.fs.shard import build_sharded
+
+        fs = build_sharded(env, base, config, device_size,
+                           hinfs_config=hinfs_config, nshards=int(nshards))
+    elif fs_name in ("hinfs", "hinfs-nclfw", "hinfs-wb"):
         device = NVMMDevice(env, config, device_size)
         factory = {
             "hinfs": HiNFS,

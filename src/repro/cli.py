@@ -8,6 +8,7 @@ Examples::
     hinfs-bench all --no-check
     hinfs-bench fig7 --json BENCH_fig07.json
     hinfs-bench tenants --json BENCH_tenants.json
+    hinfs-bench shard --json BENCH_shard.json
     hinfs-bench crashcheck --fs all --seed 7 --samples 64
     hinfs-bench trace --fs hinfs --workload fileserver -o trace.json
 """

@@ -34,12 +34,26 @@ class SimEnv:
         return next(self._req_ids)
 
     def enable_tracing(self, capacity=4096, layers=None):
-        """Attach a bounded trace ring; returns it (idempotent-ish: a
-        second call replaces the ring).  ``layers`` restricts the ring to
-        a subset of span layers -- spans of other layers skip allocation
-        entirely (the disabled-layer fast path)."""
+        """Attach a bounded trace ring; returns it.
+
+        Idempotent: a second call with the *same* ``capacity`` and
+        ``layers`` returns the existing ring untouched -- spans already
+        recorded survive, so two layers can both call this defensively
+        without one silently discarding the other's history.  A call
+        with a *different* configuration is an explicit reset: the old
+        ring (and its spans) is replaced by a fresh one.
+
+        ``layers`` restricts the ring to a subset of span layers --
+        spans of other layers skip allocation entirely (the
+        disabled-layer fast path).
+        """
         from repro.obs.trace import TraceRing
 
+        wanted = frozenset(layers) if layers is not None else None
+        ring = self.trace
+        if (ring is not None and ring.capacity == capacity
+                and ring.enabled_layers == wanted):
+            return ring
         self.trace = TraceRing(capacity, layers=layers)
         return self.trace
 
@@ -72,3 +86,11 @@ class SimEnv:
 
     def has_resource(self, name):
         return name in self._resources
+
+    def resources(self):
+        """Snapshot of the named-resource table (name -> FCFSServers).
+
+        Benchmarks use this to cross-check per-device slot ledgers
+        against the resource pools' own grant counters without poking at
+        the private dict."""
+        return dict(self._resources)

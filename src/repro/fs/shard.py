@@ -1,0 +1,755 @@
+"""One VFS mount fanned out across M NVMM devices.
+
+The paper treats NVMM as a single memory-bus device; production storage
+scales out.  :class:`ShardedFS` keeps the dispatch layer untouched (the
+formal VFS-switch model's argument): it implements the same inode-level
+:class:`~repro.fs.base.FileSystem` interface the VFS already speaks,
+composing M *shards* -- independent PMFS/HiNFS instances, one per
+:class:`~repro.nvmm.device.NVMMDevice`, each device constructed with its
+own resource ``domain`` so writer slots, media faults, errseq logs, and
+(for HiNFS) write buffer + writeback pool are all per-device.
+
+Layout
+------
+
+- **Global inode numbers** interleave the per-shard local spaces:
+  ``global = (local - 1) * M + shard + 1``.  Shard 0's local root (1)
+  maps to the global root (1); with M=1 the encoding is the identity.
+- **Directories are mirrored** on every shard (each shard holds the
+  directory *skeleton* plus the dirents of its own files); shard 0 is
+  canonical.  A directory's global ino is its shard-0 mirror's encoding,
+  and ``_dir_locals`` translates it to the per-shard local inos.
+- **Files live on exactly one shard**, chosen by hashing the file name
+  (``crc32(name) % M``).  Lookup probes the hash owner first and falls
+  back to the other shards -- a file renamed in place (because it had
+  live mappings) may be *misplaced* relative to its current name.
+
+Cross-shard rename protocol
+---------------------------
+
+``rename(2)`` whose source and destination hash to different shards
+cannot be one journal transaction -- the two shards have independent
+journals.  Instead it is journaled as an *intent* in a hidden shard-0
+file (``.__shard_intents__``), each record length+CRC framed so a torn
+tail parses as absent:
+
+1. ``begin`` record (all locals + names), durable before anything moves;
+2. copy the source bytes into a hidden temp on the target shard, fsync;
+3. ``copied`` record naming the temp's local ino;
+4. target-shard inner rename temp -> new name (THE commit point; an
+   existing same-shard victim is replaced atomically by the inner
+   journal);
+5. source-shard unlink of the old name;
+6. ``done`` record.
+
+Recovery (at :meth:`ShardedFS.mount`) replays incomplete intents: before
+``copied`` it rolls back (drops the temp; the source never moved); after
+``copied`` it decides by looking at the target dirent -- if the commit
+rename landed (or a cross-shard victim's dirent is already gone) it
+rolls forward, else back.  Every crash point therefore recovers to
+*exactly one name* for the moved file.  Directory renames are journaled
+the same way (``dirmv``) with shard 0 as the commit shard.
+
+Health is per shard: each shard owns a
+:class:`~repro.fs.health.MountHealth`; async writeback errors feed only
+the owning shard's FSM, so one shard entering DEGRADED_RO refuses writes
+to *its* files while the mount -- and every other shard -- stays
+writable.
+"""
+
+import json
+import struct
+import zlib
+
+from repro.fs.base import FileStat, FileSystem, ROOT_INO
+from repro.fs.errors import NotADirectory, ReadOnly
+from repro.fs.health import DEGRADED_RO, HEALTHY, ISOLATED, MountHealth, OVERLOADED
+from repro.fs.pmfs.pmfs import _FreeContext
+from repro.io import OP_WRITE
+
+#: Namespace entries the shard layer keeps for itself (never listed).
+HIDDEN_PREFIX = ".__"
+INTENT_LOG_NAME = ".__shard_intents__"
+_FRAME_HDR = struct.Struct("<II")
+
+
+def shard_of(name, nshards, parent=ROOT_INO):
+    """The hash-placement owner shard for a directory entry.
+
+    The key is ``(parent global ino, name)`` -- hashing the name alone
+    would pin every same-named file to one device (e.g. the tenant
+    fleet's per-tenant ``/tNNNN/data`` files), defeating the scale-out.
+    The parent's *global* ino is stable across remounts (directory
+    globals always encode the canonical shard-0 local), so placement is
+    deterministic and recoverable.
+    """
+    key = "%d/%s" % (parent, name)
+    return zlib.crc32(key.encode("utf-8")) % nshards
+
+
+class _ShardedErrseq:
+    """Routes the VFS's errseq probes (global inos) to the owning
+    shard's per-device map."""
+
+    def __init__(self, owner):
+        self._owner = owner
+
+    def _route(self, gino):
+        shard, local = self._owner._dec(gino)
+        return self._owner.shards[shard].wb_err, local
+
+    def sample(self, gino):
+        errs, local = self._route(gino)
+        return errs.sample(local)
+
+    def check(self, gino, cursor):
+        errs, local = self._route(gino)
+        return errs.check(local, cursor)
+
+    def record(self, gino):
+        errs, local = self._route(gino)
+        return errs.record(local)
+
+    def drop(self, gino):
+        errs, local = self._route(gino)
+        return errs.drop(local)
+
+
+class _CrashRequested(BaseException):
+    """Raised by a crash-point hook to stop a rename mid-protocol.
+
+    BaseException so no fs/VFS handler swallows it on the way out."""
+
+
+class ShardedFS(FileSystem):
+    """M per-device file systems behind one FileSystem interface."""
+
+    name = "sharded"
+
+    def __init__(self, env, shards, mounted=False):
+        if not shards:
+            raise ValueError("need at least one shard")
+        self.env = env
+        self.shards = list(shards)
+        self.nshards = len(self.shards)
+        self.name = "%s@%d" % (self.shards[0].name, self.nshards)
+        #: Per-shard health FSMs (satellite: one shard degrading must not
+        #: flip the whole mount).
+        self.shard_health = [MountHealth(env) for _ in self.shards]
+        self._wb_err_view = _ShardedErrseq(self)
+        for s, inner in enumerate(self.shards):
+            inner.wb_error_hook = self._shard_error_hook(s)
+        #: global dir ino -> [local ino of the mirror on each shard].
+        self._dir_locals = {}
+        #: (shard, local ino) -> global dir ino, for every mirror.
+        self._dir_gino = {}
+        self._intent_seq = 0
+        #: Crash-point hook for the explorer: called with a boundary name
+        #: at each step of the cross-shard protocol.
+        self._xmv_hook = None
+        free = _FreeContext(env)
+        if mounted:
+            self._mount(free)
+        else:
+            self._register_dir(ROOT_INO, [ROOT_INO] * self.nshards)
+            self._intent_ino = self.shards[0].create_file(
+                free, ROOT_INO, INTENT_LOG_NAME)
+        self._intent_off = 0
+
+    # -- construction helpers ---------------------------------------------
+
+    def _register_dir(self, gino, locals_):
+        self._dir_locals[gino] = locals_
+        for s, local in enumerate(locals_):
+            self._dir_gino[(s, local)] = gino
+
+    def _shard_error_hook(self, s):
+        def hook(_local_ino):
+            # Async writeback EIO: bill the owning shard's FSM only --
+            # the other shards (and the mount) stay writable.
+            self.shard_health[s].count_media_error(
+                0, reason="dev%d writeback error" % s)
+            self.env.stats.bump("shard_wb_errors@dev%d" % s)
+        return hook
+
+    # -- inode number codec -------------------------------------------------
+
+    def _enc(self, local, shard):
+        return (local - 1) * self.nshards + shard + 1
+
+    def _dec(self, gino):
+        return (gino - 1) % self.nshards, (gino - 1) // self.nshards + 1
+
+    def _plocals(self, parent_gino):
+        locals_ = self._dir_locals.get(parent_gino)
+        if locals_ is None:
+            raise NotADirectory("inode %d" % parent_gino)
+        return locals_
+
+    def _check_shard_writable(self, s, what):
+        health = self.shard_health[s]
+        if not health.writable:
+            raise ReadOnly("%s on %s shard dev%d (%s)"
+                           % (what, health.state, s, health.reason))
+
+    # -- mount / recovery ---------------------------------------------------
+
+    def _mount(self, free):
+        from repro.fs.errors import MediaError
+
+        shard0 = self.shards[0]
+        if shard0.degraded_reason:
+            # The canonical shard could not recover: the whole namespace
+            # is suspect, so the mount comes up degraded (VFS serves RO).
+            self.degraded_reason = shard0.degraded_reason
+        self._register_dir(ROOT_INO, [ROOT_INO] * self.nshards)
+        try:
+            self._intent_ino = shard0.lookup(free, ROOT_INO, INTENT_LOG_NAME)
+            if self._intent_ino is None:
+                if not self.degraded_reason:
+                    self._intent_ino = shard0.create_file(
+                        free, ROOT_INO, INTENT_LOG_NAME)
+            elif not self.degraded_reason:
+                self._recover_intents(free)
+            self._reconcile(free)
+            if not self.degraded_reason:
+                shard0.truncate(free, self._intent_ino, 0)
+        except MediaError as exc:
+            # Recovery/reconcile walked onto bad media: serve what can be
+            # read, read-only, rather than failing the mount outright.
+            self.degraded_reason = "shard recovery hit bad media: %s" % exc
+            self.env.stats.bump("mount_degraded")
+        for s, inner in enumerate(self.shards):
+            if s and inner.degraded_reason:
+                self.shard_health[s].force_degraded(0, inner.degraded_reason)
+
+    @classmethod
+    def mount(cls, env, shards):
+        """Assemble a sharded mount from already-mounted shards: replay
+        incomplete cross-shard intents, then reconcile the mirrored
+        directory skeleton against canonical shard 0."""
+        return cls(env, shards, mounted=True)
+
+    def _recover_intents(self, free):
+        pending = {}
+        for rec in self._read_intents(free):
+            kind = rec.get("kind")
+            seq = rec.get("seq")
+            if kind == "begin":
+                pending[seq] = rec
+            elif kind == "copied" and seq in pending:
+                pending[seq]["tl"] = rec["tl"]
+            elif kind == "done":
+                pending.pop(seq, None)
+        for seq in sorted(pending):
+            rec = pending[seq]
+            if rec.get("op") == "dirmv":
+                self._recover_dirmv(free, rec)
+            elif rec.get("op") == "swap":
+                self._recover_swap(free, rec)
+            else:
+                self._recover_xmv(free, rec)
+            self.env.stats.bump("shard_intents_recovered")
+
+    def _recover_xmv(self, free, rec):
+        """Finish or undo one interrupted cross-shard file migration."""
+        s1fs = self.shards[rec["s1"]]
+        s2fs = self.shards[rec["s2"]]
+        p1l, p2l = rec["p1l"], rec["p2l"]
+        tmp, tl = rec["tmp"], rec.get("tl")
+        if tl is None:
+            # Crashed before the copy was recorded: the source never
+            # moved; drop the (possibly half-written) temp.
+            t = s2fs.lookup(free, p2l, tmp)
+            if t is not None:
+                s2fs.unlink(free, p2l, tmp, t)
+            return
+        lr, sr = rec.get("lr"), rec.get("sr")
+        forward = s2fs.lookup(free, p2l, rec["new"]) == tl
+        if not forward and lr is not None and sr != rec["s2"]:
+            # A cross-shard victim whose dirent is already gone means the
+            # protocol passed its point of no return before the crash.
+            if self.shards[sr].lookup(free, rec["rp2l"], rec["new"]) is None:
+                forward = True
+        if forward:
+            if lr is not None and sr != rec["s2"]:
+                victim = self.shards[sr].lookup(free, rec["rp2l"], rec["new"])
+                if victim == lr:
+                    self.shards[sr].unlink(free, rec["rp2l"], rec["new"], lr)
+            if s2fs.lookup(free, p2l, rec["new"]) != tl:
+                t = s2fs.lookup(free, p2l, tmp)
+                if t is not None:
+                    same_shard_victim = None
+                    if lr is not None and sr == rec["s2"]:
+                        if s2fs.lookup(free, p2l, rec["new"]) == lr:
+                            same_shard_victim = lr
+                    s2fs.rename(free, p2l, tmp, p2l, rec["new"], t,
+                                replaced_ino=same_shard_victim)
+            old = s1fs.lookup(free, p1l, rec["old"])
+            if old == rec["l1"]:
+                s1fs.unlink(free, p1l, rec["old"], old)
+        else:
+            t = s2fs.lookup(free, p2l, tmp)
+            if t is not None:
+                s2fs.unlink(free, p2l, tmp, t)
+
+    def _recover_swap(self, free, rec):
+        """In-place rename whose cross-shard victim unlink got split off."""
+        s1fs = self.shards[rec["s1"]]
+        srfs = self.shards[rec["sr"]]
+        if s1fs.lookup(free, rec["p2l"], rec["new"]) == rec["l1"]:
+            victim = srfs.lookup(free, rec["rp2l"], rec["new"])
+            if victim == rec["lr"]:
+                srfs.unlink(free, rec["rp2l"], rec["new"], victim)
+            return
+        victim = srfs.lookup(free, rec["rp2l"], rec["new"])
+        if victim == rec["lr"]:
+            return  # nothing moved yet: roll back (keep both names)
+        old = s1fs.lookup(free, rec["p1l"], rec["old"])
+        if old == rec["l1"]:
+            s1fs.rename(free, rec["p1l"], rec["old"], rec["p2l"], rec["new"],
+                        rec["l1"])
+
+    def _recover_dirmv(self, free, rec):
+        """Directory rename: shard 0 committed first; align the mirrors."""
+        p1s, p2s, locs = rec["p1s"], rec["p2s"], rec["ds"]
+        if self.shards[0].lookup(free, p2s[0], rec["new"]) != locs[0]:
+            return  # shard 0 never committed -> no mirror moved either
+        for s in range(1, self.nshards):
+            if self.shards[s].lookup(free, p2s[s], rec["new"]) != locs[s]:
+                self.shards[s].rename(free, p1s[s], rec["old"], p2s[s],
+                                      rec["new"], locs[s])
+
+    def _reconcile(self, free):
+        """Rebuild the dir maps by walking canonical shard 0, creating
+        missing mirrors and dropping empty orphan mirrors (the residue of
+        a mkdir/rmdir that crashed between shards)."""
+        visited = [set([ROOT_INO]) for _ in range(self.nshards)]
+        queue = [ROOT_INO]
+        while queue:
+            gino = queue.pop()
+            locals_ = self._dir_locals[gino]
+            for name, l0 in self.shards[0].readdir(free, locals_[0]):
+                if name.startswith(HIDDEN_PREFIX):
+                    continue
+                if not self.shards[0].getattr(free, l0).is_dir:
+                    continue
+                child = [l0] + [0] * (self.nshards - 1)
+                visited[0].add(l0)
+                for s in range(1, self.nshards):
+                    local = self.shards[s].lookup(free, locals_[s], name)
+                    if local is None:
+                        local = self.shards[s].mkdir(free, locals_[s], name)
+                        self.env.stats.bump("shard_mirrors_repaired")
+                    child[s] = local
+                    visited[s].add(local)
+                cg = self._enc(l0, 0)
+                self._register_dir(cg, child)
+                queue.append(cg)
+        for s in range(1, self.nshards):
+            self._drop_orphans(free, s, ROOT_INO, visited[s])
+
+    def _drop_orphans(self, free, s, dir_local, keep):
+        inner = self.shards[s]
+        for name, local in list(inner.readdir(free, dir_local)):
+            if name.startswith(HIDDEN_PREFIX):
+                continue
+            if not inner.getattr(free, local).is_dir:
+                continue
+            self._drop_orphans(free, s, local, keep)
+            if local not in keep and not inner.readdir(free, local):
+                inner.rmdir(free, dir_local, name, local)
+                self.env.stats.bump("shard_orphans_dropped")
+
+    # -- the intent log -----------------------------------------------------
+
+    def _append_intent(self, ctx, rec):
+        payload = json.dumps(rec, sort_keys=True,
+                             separators=(",", ":")).encode("utf-8")
+        frame = _FRAME_HDR.pack(len(payload),
+                                zlib.crc32(payload) & 0xFFFFFFFF) + payload
+        offset = self._intent_off
+        self._intent_off = offset + len(frame)
+        self.shards[0].write(ctx, self._intent_ino, offset, frame, eager=True)
+        self.shards[0].fsync(ctx, self._intent_ino)
+
+    def _read_intents(self, free):
+        size = self.shards[0].getattr(free, self._intent_ino).size
+        raw = self.shards[0].read(free, self._intent_ino, 0, size) \
+            if size else b""
+        records = []
+        offset = 0
+        while offset + _FRAME_HDR.size <= len(raw):
+            length, crc = _FRAME_HDR.unpack_from(raw, offset)
+            payload = raw[offset + _FRAME_HDR.size:
+                          offset + _FRAME_HDR.size + length]
+            if len(payload) < length or \
+                    zlib.crc32(payload) & 0xFFFFFFFF != crc:
+                break  # torn tail: the record never fully landed
+            try:
+                records.append(json.loads(payload.decode("utf-8")))
+            except ValueError:
+                break
+            offset += _FRAME_HDR.size + length
+        return records
+
+    def _crash_point(self, point):
+        hook = self._xmv_hook
+        if hook is not None:
+            hook(point)
+
+    # -- namespace ----------------------------------------------------------
+
+    def lookup(self, ctx, parent_ino, name):
+        locals_ = self._plocals(parent_ino)
+        owner = shard_of(name, self.nshards, parent=parent_ino)
+        for s in self._probe_order(owner):
+            local = self.shards[s].lookup(ctx, locals_[s], name)
+            if local is not None:
+                return self._dir_gino.get((s, local), self._enc(local, s))
+        return None
+
+    def _probe_order(self, owner):
+        """Hash owner first, then the fallback probe of the other shards
+        (misplaced files keep global lookup correct)."""
+        yield owner
+        for s in range(self.nshards):
+            if s != owner:
+                yield s
+
+    def create_file(self, ctx, parent_ino, name):
+        locals_ = self._plocals(parent_ino)
+        owner = shard_of(name, self.nshards, parent=parent_ino)
+        self._check_shard_writable(owner, "create of %r" % name)
+        local = self.shards[owner].create_file(ctx, locals_[owner], name)
+        return self._enc(local, owner)
+
+    def mkdir(self, ctx, parent_ino, name):
+        locals_ = self._plocals(parent_ino)
+        for s in range(self.nshards):
+            self._check_shard_writable(s, "mkdir of %r" % name)
+        # Mirrors first, canonical shard 0 LAST: an interrupted mkdir
+        # leaves only orphan mirrors, which reconcile drops.
+        child = [0] * self.nshards
+        for s in range(self.nshards - 1, -1, -1):
+            child[s] = self.shards[s].mkdir(ctx, locals_[s], name)
+        gino = self._enc(child[0], 0)
+        self._register_dir(gino, child)
+        return gino
+
+    def unlink(self, ctx, parent_ino, name, ino):
+        locals_ = self._plocals(parent_ino)
+        s, local = self._dec(ino)
+        self._check_shard_writable(s, "unlink of %r" % name)
+        self.shards[s].unlink(ctx, locals_[s], name, local)
+
+    def rmdir(self, ctx, parent_ino, name, ino):
+        from repro.fs.errors import NotEmpty
+
+        locals_ = self._plocals(parent_ino)
+        child = self._plocals(ino)
+        for s in range(self.nshards):
+            for entry, _local in self.shards[s].readdir(ctx, child[s]):
+                if not entry.startswith(HIDDEN_PREFIX):
+                    raise NotEmpty(name)
+        # Canonical shard 0 FIRST (the removal's commit point), mirrors
+        # after: an interrupted rmdir leaves empty orphan mirrors only.
+        for s in range(self.nshards):
+            self.shards[s].rmdir(ctx, locals_[s], name, child[s])
+        for s, local in enumerate(child):
+            self._dir_gino.pop((s, local), None)
+        del self._dir_locals[ino]
+
+    def rename(self, ctx, old_parent, old_name, new_parent, new_name, ino,
+               replaced_ino=None):
+        """Returns the file's *new global ino* when the rename migrated
+        it to another shard, else None (the VFS remaps open descriptors
+        and its dcache from the return value)."""
+        p1 = self._plocals(old_parent)
+        p2 = self._plocals(new_parent)
+        if ino in self._dir_locals:
+            self._rename_dir(ctx, p1, old_name, p2, new_name,
+                             self._dir_locals[ino])
+            return None
+        s1, l1 = self._dec(ino)
+        s2 = shard_of(new_name, self.nshards, parent=new_parent)
+        sr = lr = None
+        if replaced_ino is not None:
+            sr, lr = self._dec(replaced_ino)
+        self._check_shard_writable(s1, "rename of %r" % old_name)
+        self._check_shard_writable(s2, "rename to %r" % new_name)
+        if sr is not None:
+            self._check_shard_writable(sr, "replace of %r" % new_name)
+        if s1 == s2 or self._has_live_mappings(s1, l1):
+            # Stays on its shard -- possibly *misplaced* relative to the
+            # new name's hash owner (live mappings must keep addressing
+            # the same local inode); lookup's probe fallback finds it.
+            if lr is None or sr == s1:
+                self.shards[s1].rename(ctx, p1[s1], old_name, p2[s1],
+                                       new_name, l1, replaced_ino=lr)
+                return None
+            self._rename_swap(ctx, s1, l1, p1, old_name, p2, new_name,
+                              sr, lr)
+            return None
+        return self._rename_migrate(ctx, s1, l1, p1, old_name, s2, p2,
+                                    new_name, sr, lr)
+
+    def _has_live_mappings(self, s, local):
+        live = getattr(self.shards[s], "_live_mappings", None)
+        return bool(live is not None and live(local))
+
+    def _next_intent_seq(self):
+        self._intent_seq += 1
+        return self._intent_seq
+
+    def _rename_dir(self, ctx, p1, old_name, p2, new_name, locs):
+        seq = self._next_intent_seq()
+        self._append_intent(ctx, {
+            "kind": "begin", "op": "dirmv", "seq": seq, "old": old_name,
+            "new": new_name, "p1s": list(p1), "p2s": list(p2),
+            "ds": list(locs),
+        })
+        # Shard 0 commits the move; mirrors follow; recovery rolls the
+        # stragglers forward iff shard 0's rename landed.
+        for s in range(self.nshards):
+            self.shards[s].rename(ctx, p1[s], old_name, p2[s], new_name,
+                                  locs[s])
+        self._append_intent(ctx, {"kind": "done", "seq": seq})
+
+    def _rename_swap(self, ctx, s1, l1, p1, old_name, p2, new_name, sr, lr):
+        """In-place rename over a victim living on a different shard."""
+        seq = self._next_intent_seq()
+        self._append_intent(ctx, {
+            "kind": "begin", "op": "swap", "seq": seq, "s1": s1, "l1": l1,
+            "p1l": p1[s1], "old": old_name, "p2l": p2[s1], "new": new_name,
+            "sr": sr, "lr": lr, "rp2l": p2[sr],
+        })
+        self.shards[sr].unlink(ctx, p2[sr], new_name, lr)
+        self.shards[s1].rename(ctx, p1[s1], old_name, p2[s1], new_name, l1)
+        self._append_intent(ctx, {"kind": "done", "seq": seq})
+
+    def _rename_migrate(self, ctx, s1, l1, p1, old_name, s2, p2, new_name,
+                        sr, lr):
+        """The journaled cross-shard migration; returns the new global ino."""
+        src, dst = self.shards[s1], self.shards[s2]
+        seq = self._next_intent_seq()
+        tmp = "%smig_%d" % (HIDDEN_PREFIX, seq)
+        rec = {
+            "kind": "begin", "op": "xmv", "seq": seq, "s1": s1, "l1": l1,
+            "p1l": p1[s1], "old": old_name, "s2": s2, "p2l": p2[s2],
+            "new": new_name, "tmp": tmp, "sr": sr, "lr": lr,
+            "rp2l": p2[sr] if sr is not None else None,
+        }
+        self._append_intent(ctx, rec)
+        self._crash_point("intent")
+        size = src.getattr(ctx, l1).size
+        data = src.read(ctx, l1, 0, size) if size else b""
+        tl = dst.create_file(ctx, p2[s2], tmp)
+        if data:
+            dst.write(ctx, tl, 0, data, eager=True)
+        dst.fsync(ctx, tl)
+        self._crash_point("copy")
+        self._append_intent(ctx, {"kind": "copied", "seq": seq, "tl": tl})
+        self._crash_point("copied")
+        if lr is not None and sr != s2:
+            self.shards[sr].unlink(ctx, p2[sr], new_name, lr)
+            self._crash_point("victim-unlinked")
+        dst.rename(ctx, p2[s2], tmp, p2[s2], new_name, tl,
+                   replaced_ino=lr if (lr is not None and sr == s2) else None)
+        self._crash_point("linked")
+        src.unlink(ctx, p1[s1], old_name, l1)
+        self._crash_point("unlinked")
+        self._append_intent(ctx, {"kind": "done", "seq": seq})
+        self.env.stats.bump("shard_cross_renames")
+        return self._enc(tl, s2)
+
+    def readdir(self, ctx, ino):
+        locals_ = self._plocals(ino)
+        merged = {}
+        for s, inner in enumerate(self.shards):
+            for name, local in inner.readdir(ctx, locals_[s]):
+                if name.startswith(HIDDEN_PREFIX):
+                    continue
+                gino = self._dir_gino.get((s, local))
+                if gino is not None:
+                    merged[name] = gino  # same from every mirror
+                else:
+                    merged[name] = self._enc(local, s)
+        return sorted(merged.items())
+
+    def getattr(self, ctx, ino):
+        s, local = self._dec(ino)
+        st = self.shards[s].getattr(ctx, local)
+        return FileStat(ino, st.kind, st.size, st.nlink, st.mtime_ns,
+                        st.ctime_ns)
+
+    # -- data path -----------------------------------------------------------
+
+    def submit(self, ctx, req):
+        s, local = self._dec(req.ino)
+        if req.op == OP_WRITE:
+            self._check_shard_writable(s, "write to inode %d" % req.ino)
+        stats = self.env.stats
+        stats.bump("sharded_reqs@dev%d" % s)
+        stats.bump("sharded_reqs_total")
+        gino = req.ino
+        req.ino = local
+        try:
+            return self.shards[s].submit(ctx, req)
+        finally:
+            req.ino = gino
+
+    def write_iter(self, ctx, req):
+        return self.submit(ctx, req)
+
+    def read_iter(self, ctx, req):
+        return self.submit(ctx, req)
+
+    def sync_iter(self, ctx, req):
+        return self.submit(ctx, req)
+
+    def fsync(self, ctx, ino):
+        s, local = self._dec(ino)
+        self.shards[s].fsync(ctx, local)
+
+    def fdatasync(self, ctx, ino):
+        s, local = self._dec(ino)
+        self.shards[s].fdatasync(ctx, local)
+
+    def truncate(self, ctx, ino, new_size):
+        s, local = self._dec(ino)
+        self._check_shard_writable(s, "truncate of inode %d" % ino)
+        self.shards[s].truncate(ctx, local, new_size)
+
+    # -- memory-mapped I/O ---------------------------------------------------
+
+    def mmap(self, ctx, ino):
+        s, local = self._dec(ino)
+        return self.shards[s].mmap(ctx, local)
+
+    def mmap_atomic(self, ctx, ino, length=None, policy="auto",
+                    log_blocks=4, log_checksums=True):
+        s, local = self._dec(ino)
+        self._check_shard_writable(s, "atomic mmap of inode %d" % ino)
+        return self.shards[s].mmap_atomic(
+            ctx, local, length=length, policy=policy, log_blocks=log_blocks,
+            log_checksums=log_checksums)
+
+    def atomic_mapping(self, ino):
+        s, local = self._dec(ino)
+        mapping = getattr(self.shards[s], "atomic_mapping", None)
+        return mapping(local) if mapping is not None else None
+
+    # -- health / errors -----------------------------------------------------
+
+    @property
+    def wb_err(self):
+        return self._wb_err_view
+
+    @property
+    def shard_states(self):
+        """Per-device observable health states, in shard order."""
+        return [h.observable_state for h in self.shard_health]
+
+    @property
+    def aggregate_observable(self):
+        """What fleet monitoring reports for the mount: the *worst*
+        shard state, with the whole mount only as unhealthy as its most
+        degraded device."""
+        worst = HEALTHY
+        rank = {HEALTHY: 0, OVERLOADED: 1, DEGRADED_RO: 2, ISOLATED: 3}
+        for state in self.shard_states:
+            if rank[state] > rank[worst]:
+                worst = state
+        return worst
+
+    def shard_mttr_ns(self):
+        """Per-device mean-time-to-recovery, in shard order (None for
+        shards that never degraded or never recovered)."""
+        return [h.mttr_ns() for h in self.shard_health]
+
+    def scrub(self, ctx):
+        from repro.fs.scrub import ScrubReport
+
+        merged = ScrubReport(self.name, started_ns=ctx.now)
+        for s, inner in enumerate(self.shards):
+            report = inner.scrub(ctx)
+            self.shard_health[s].scrub_result(ctx.now, report)
+            merged.scanned_lines += report.scanned_lines
+            merged.bad_lines_found += report.bad_lines_found
+            merged.repaired_lines += report.repaired_lines
+            merged.isolated_lines += report.isolated_lines
+            merged.quarantined_blocks.extend(report.quarantined_blocks)
+            merged.unrecovered_lines += report.unrecovered_lines
+        merged.finished_ns = ctx.now
+        return merged
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def unmount(self, ctx):
+        for inner in self.shards:
+            inner.unmount(ctx)
+
+    def drop_caches(self):
+        for inner in self.shards:
+            inner.drop_caches()
+
+    def free_data_bytes(self, ctx):
+        total = 0
+        for inner in self.shards:
+            free = inner.free_data_bytes(ctx)
+            if free is None:
+                return None
+            total += free
+        return total
+
+
+def build_sharded(env, base_name, config, device_size, hinfs_config=None,
+                  nshards=2):
+    """Fresh M-device stack: one domain'd NVMMDevice + inner fs per shard.
+
+    ``device_size`` is *per device* -- capacity and writer-slot bandwidth
+    both scale with the shard count, which is the point of the refactor.
+    """
+    from repro.nvmm.device import NVMMDevice
+
+    factory = _shard_factory(base_name)
+    shards = []
+    for s in range(nshards):
+        device = NVMMDevice(env, config, device_size, domain="dev%d" % s)
+        shards.append(factory(env, device, config, hinfs_config))
+    return ShardedFS(env, shards)
+
+
+def mount_sharded(env, devices, base_name, config, hinfs_config=None):
+    """Remount a sharded stack from M existing (crashed) devices."""
+    from repro.core.hinfs import HiNFS
+    from repro.fs.pmfs import PMFS
+
+    shards = []
+    for device in devices:
+        if base_name.startswith("hinfs"):
+            shards.append(HiNFS.mount(env, device, config,
+                                      hconfig=hinfs_config))
+        else:
+            shards.append(PMFS.mount(env, device, config))
+    return ShardedFS.mount(env, shards)
+
+
+def _shard_factory(base_name):
+    from repro.core.hinfs import HiNFS, make_hinfs_nclfw, make_hinfs_wb
+    from repro.fs.pmfs import PMFS
+
+    if base_name in ("hinfs", "hinfs-nclfw", "hinfs-wb"):
+        hfactory = {"hinfs": HiNFS, "hinfs-nclfw": make_hinfs_nclfw,
+                    "hinfs-wb": make_hinfs_wb}[base_name]
+
+        def make(env, device, config, hconfig):
+            return hfactory(env, device, config, hconfig=hconfig)
+    elif base_name == "pmfs":
+        def make(env, device, config, _hconfig):
+            return PMFS(env, device, config)
+    else:
+        raise ValueError("cannot shard %r (direct-access stacks only)"
+                         % base_name)
+    return make

@@ -76,6 +76,12 @@ class NVMMConfig:
         A single writer streams one cacheline per ``L_nvmm``, i.e.
         ``64 B / L`` bytes per second; the configured bandwidth divided by
         that per-writer rate gives the slot count.
+
+        Each *resource domain* gets its own ``N_w``-slot pool: a sharded
+        mount over M devices constructed with distinct ``domain`` names
+        owns M independent pools (aggregate bandwidth scales with device
+        count), while devices sharing the default domain share one pool
+        as before.
         """
         per_writer_bps = CACHELINE_SIZE * 1e9 / self.nvmm_write_latency_ns
         slots = round(self.nvmm_write_bandwidth_bps / per_writer_bps)

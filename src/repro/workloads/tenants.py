@@ -48,12 +48,12 @@ class TenantSpec:
 
     __slots__ = ("tenant_id", "weight", "priority", "mode", "ops",
                  "io_size", "read_fraction", "think_ns", "interval_ns",
-                 "off_prob", "off_mean_ns", "sync")
+                 "off_prob", "off_mean_ns", "sync", "batch")
 
     def __init__(self, tenant_id, weight=1, priority=PRIO_SILVER,
                  mode=MODE_CLOSED, ops=40, io_size=4096, read_fraction=0.5,
                  think_ns=200_000, interval_ns=250_000, off_prob=0.1,
-                 off_mean_ns=2_000_000, sync=False):
+                 off_mean_ns=2_000_000, sync=False, batch=1):
         self.tenant_id = int(tenant_id)
         self.weight = int(weight)
         self.priority = priority
@@ -72,6 +72,13 @@ class TenantSpec:
         #: persistent and occupies NVMM writer-slot time in the
         #: foreground -- the overload experiment's flooder knob.
         self.sync = bool(sync)
+        #: Ring submissions coalesce up to ``batch`` SQEs (open/burst
+        #: modes only): the client waits until the batch's last op is
+        #: *scheduled*, then submits all of them in one ring entry --
+        #: the io_uring amortization path, marked ``IOSQE_ASYNC`` so
+        #: deferred completions are reaped rather than inlined.  Closed
+        #: loops stay batch-of-one (each op gates the next think time).
+        self.batch = max(1, int(batch))
 
     def __repr__(self):
         return "TenantSpec(#%d %s w=%d %s ops=%d)" % (
@@ -204,11 +211,64 @@ class TenantFleet(Workload):
                 policy.note_retry()
                 ctx.charge(policy.backoff_ns(attempt))
 
+        def make_sqe(fd):
+            offset = rng.randrange(max_offset)
+            if rng.random() < spec.read_fraction:
+                return uring.prep_read(fd, spec.io_size, offset,
+                                       flags=uring.IOSQE_ASYNC, **tenant_kw)
+            return uring.prep_write(fd, chunk, offset,
+                                    flags=uring.IOSQE_ASYNC, **tenant_kw)
+
+        def finalize(ctx, ring, sqe, error, scheduled):
+            """Settle one batched op: retry shed attempts one-by-one
+            (admission rejects per op), then account it."""
+            attempt = 0
+            while error is not None:
+                if not isinstance(error, TryAgain):
+                    raise error
+                result.shed += 1
+                attempt += 1
+                if policy.circuit_open(ctx.now) or not policy.allows(attempt):
+                    policy.record_failure(ctx.now)
+                    result.dropped += 1
+                    return
+                policy.note_retry()
+                ctx.charge(policy.backoff_ns(attempt))
+                error = ring.submit_reaping([sqe])[0].error
+            policy.record_success()
+            result.latencies_ns.append(ctx.now - scheduled)
+            result.ops_done += 1
+            result.bytes_done += spec.io_size
+
+        def batched_body(ctx, ring, fd):
+            """Open/burst arrivals coalesced ``spec.batch`` SQEs per ring
+            submission: one mode switch per batch, queue-inclusive
+            latency still measured from each op's own scheduled time."""
+            pending = []
+            scheduled = ctx.now
+            for i in range(spec.ops):
+                if spec.mode == MODE_BURST and rng.random() < spec.off_prob:
+                    scheduled += int(rng.expovariate(1.0 / spec.off_mean_ns))
+                pending.append((make_sqe(fd), scheduled))
+                scheduled += spec.interval_ns
+                if len(pending) >= spec.batch or i == spec.ops - 1:
+                    if ctx.now < pending[-1][1]:
+                        ctx.sync_to(pending[-1][1])
+                    cqes = ring.submit_reaping([s for s, _ in pending])
+                    for (sqe, sched), cqe in zip(pending, cqes):
+                        finalize(ctx, ring, sqe, cqe.error, sched)
+                    pending = []
+                    yield
+
         def body(ctx):
             flags = f.O_RDWR | (f.O_SYNC if spec.sync else 0)
             fd = vfs.open(ctx, self.path(spec.tenant_id), flags)
             ring = vfs.ring(ctx)
             closed = spec.mode == MODE_CLOSED
+            if spec.batch > 1 and not closed:
+                yield from batched_body(ctx, ring, fd)
+                vfs.close(ctx, fd)
+                return
             scheduled = ctx.now
             for _ in range(spec.ops):
                 if closed:

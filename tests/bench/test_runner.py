@@ -78,7 +78,7 @@ def test_registry_lists_every_paper_figure():
     assert set(EXPERIMENTS) == {
         "fig1", "fig2", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
         "fig12", "fig13", "abl-policy", "abl-watermark", "scale", "ring",
-        "mmap", "chaos", "simspeed", "tenants",
+        "mmap", "chaos", "simspeed", "tenants", "shard",
     }
     for module in EXPERIMENTS.values():
         assert hasattr(module, "run")

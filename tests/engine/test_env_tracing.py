@@ -1,0 +1,63 @@
+"""``SimEnv.enable_tracing``: the documented idempotency contract.
+
+Two layers (a benchmark runner and a debugging harness, say) may both
+call ``enable_tracing`` defensively.  The contract pinned here: a
+second call with the *same* capacity and layer set returns the
+existing ring untouched -- spans already recorded survive -- while a
+call with a *different* configuration is an explicit reset that
+replaces the ring and discards its history.
+"""
+
+from repro.engine.context import ExecContext
+from repro.engine.env import SimEnv
+from repro.obs.trace import LAYER_NVMM, LAYER_VFS
+
+
+def _record_syscall(env, name="open"):
+    ctx = ExecContext(env, "tracer")
+    with ctx.syscall(name):
+        ctx.charge(100)
+
+
+def test_same_config_returns_existing_ring_with_history():
+    env = SimEnv()
+    ring = env.enable_tracing(capacity=64)
+    _record_syscall(env)
+    assert ring.recorded == 1
+    again = env.enable_tracing(capacity=64)
+    assert again is ring
+    assert env.trace is ring
+    assert again.recorded == 1 and len(again) == 1
+
+
+def test_layer_filter_compares_as_a_set():
+    env = SimEnv()
+    ring = env.enable_tracing(capacity=32, layers=(LAYER_VFS, LAYER_NVMM))
+    _record_syscall(env)
+    # Iterable type and order must not matter: the filter is a set.
+    assert env.enable_tracing(capacity=32,
+                              layers=[LAYER_NVMM, LAYER_VFS]) is ring
+    assert ring.recorded == 1
+
+
+def test_different_capacity_is_an_explicit_reset():
+    env = SimEnv()
+    ring = env.enable_tracing(capacity=16)
+    _record_syscall(env)
+    fresh = env.enable_tracing(capacity=32)
+    assert fresh is not ring
+    assert env.trace is fresh
+    assert fresh.capacity == 32
+    assert fresh.recorded == 0 and len(fresh) == 0
+
+
+def test_different_layer_set_is_an_explicit_reset():
+    env = SimEnv()
+    ring = env.enable_tracing(capacity=16)
+    _record_syscall(env)
+    fresh = env.enable_tracing(capacity=16, layers=(LAYER_VFS,))
+    assert fresh is not ring
+    assert fresh.recorded == 0
+    assert fresh.enabled_layers == frozenset([LAYER_VFS])
+    # And a third call matching the new config sticks to it.
+    assert env.enable_tracing(capacity=16, layers=(LAYER_VFS,)) is fresh

@@ -54,6 +54,15 @@ CASES = [(fs, 0, 1, 0) for fs in STACKS] + \
     ("hinfs", 0, 1, -1),
     ("pmfs", 1337, 1, -1),
     ("ext4-dax", 0, 1, -1),
+    # Sharded mounts ("base@M"): M devices, each its own resource
+    # domain, behind one VFS mount.  These pin the shard routing
+    # layer's virtual-time results including the per-device
+    # ``sharded_reqs@devN``/``nvmm_slot_grants@devN`` ledgers; the
+    # single-device entries above stay bit-identical through the shard
+    # refactor (domain-None devices bump no per-domain counters).
+    ("hinfs@2", 0, 1, 0),
+    ("hinfs@4", 1337, 4, 8),
+    ("pmfs@2", 0, 1, 8),
 ]
 
 

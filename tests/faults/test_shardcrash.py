@@ -1,0 +1,72 @@
+"""Crash-point gates for the cross-shard rename protocol.
+
+The explorer (:mod:`repro.faults.shardcrash`) crashes a cross-shard
+``rename(2)`` at every protocol boundary, remounts the whole sharded
+stack from the devices' persistent images, and checks the recovery
+contract.  These tests pin not just "it passed" but *which* name the
+file recovers to at each boundary: before the target-shard link commits
+the source name survives (roll back), after it the destination does
+(roll forward) -- never zero, never both.
+"""
+
+import pytest
+
+from repro.faults.shardcrash import (
+    BOUNDARIES,
+    _pick_names,
+    explore_cross_shard_rename,
+)
+
+#: boundary -> which side of the commit point it recovers to.
+ROLLS_BACK = ("intent", "copy", "copied")
+ROLLS_FORWARD = ("linked", "unlinked")
+
+
+@pytest.mark.parametrize("base", ["hinfs", "pmfs"])
+def test_plain_migration_recovers_to_the_expected_name(base):
+    report = explore_cross_shard_rename(base, nshards=2, with_victim=False)
+    report.raise_if_failed()
+    by_boundary = {case["boundary"]: case for case in report.cases}
+    # "victim-unlinked" only exists for a cross-shard replacement.
+    assert set(by_boundary) == set(BOUNDARIES) - {"victim-unlinked"}
+    src, dst = _pick_names(2)
+    for boundary in ROLLS_BACK:
+        assert by_boundary[boundary]["recovered_to"] == src, by_boundary
+    for boundary in ROLLS_FORWARD:
+        assert by_boundary[boundary]["recovered_to"] == dst, by_boundary
+    # Exactly one name at every point: never both, never neither.
+    for case in report.cases:
+        assert case["old_present"] != case["new_present"], case
+
+
+def test_misplaced_victim_exercises_the_cross_shard_unlink():
+    # The victim sits on the *source* shard (residue of an in-place
+    # rename), so the protocol must unlink it cross-shard -- the
+    # "victim-unlinked" boundary only this shape reaches.
+    report = explore_cross_shard_rename("hinfs", nshards=2,
+                                        with_victim="misplaced")
+    report.raise_if_failed()
+    boundaries = {case["boundary"] for case in report.cases}
+    assert "victim-unlinked" in boundaries
+    # Replacing rename: the destination name must resolve at EVERY
+    # crash point (to the old victim before the point of no return, to
+    # the moved file after) -- rename-over never loses the name.
+    assert all(case["new_present"] for case in report.cases), report.cases
+
+
+def test_hash_placed_victim_is_replaced_by_the_inner_journal():
+    report = explore_cross_shard_rename("pmfs", nshards=4,
+                                        with_victim="same")
+    report.raise_if_failed()
+    assert all(case["new_present"] for case in report.cases), report.cases
+    # The same-shard victim is replaced at the link step itself, so the
+    # cross-shard unlink boundary never fires.
+    assert "victim-unlinked" not in {c["boundary"] for c in report.cases}
+
+
+def test_report_raise_if_failed_names_the_violations():
+    report = explore_cross_shard_rename("pmfs", nshards=2)
+    assert report.passed
+    d = report.as_dict()
+    assert d["passed"] and not d["violations"]
+    assert len(d["cases"]) == len(BOUNDARIES) - 1

@@ -1,13 +1,17 @@
-"""Differential conformance oracle: five stacks vs a dict-of-bytes model.
+"""Differential conformance oracle: six stacks vs a dict-of-bytes model.
 
 A Hypothesis stateful machine drives random syscalls -- open / read /
 write / writev / lseek / truncate / rename / unlink / fsync -- against
-all five simulated file systems *and* a trivially-correct in-memory
-reference (paths -> byte buffers, descriptors -> (buffer, position)).
-Every return value, every raised error class, and the final visible
-namespace must agree across all six.  This is the conformance fence the
-concurrency refactor is locked in by: per-inode locking and parallel
-writeback must never change what a syscall returns.
+all five simulated file systems, a two-device sharded HiNFS mount
+(``hinfs@2`` -- the namespace hashed across independent shards behind
+one VFS, including cross-shard renames), *and* a trivially-correct
+in-memory reference (paths -> byte buffers, descriptors -> (buffer,
+position)).  Every return value, every raised error class, and the
+final visible namespace must agree across all seven.  This is the
+conformance fence the concurrency refactor is locked in by: per-inode
+locking and parallel writeback must never change what a syscall
+returns -- and the shard layer must be invisible at the syscall
+surface.
 
 The machine also drives the library-mode mmap plane: on stacks that
 support ``MAP_ATOMIC`` (the PMFS family) it creates real mappings and
@@ -41,7 +45,8 @@ from repro.fs import flags as f
 from repro.fs.errors import FSError
 from repro.nvmm.config import NVMMConfig
 
-ORACLE_FS = ("hinfs", "pmfs", "ext4-dax", "ext2-nvmmbd", "ext4-nvmmbd")
+ORACLE_FS = ("hinfs", "pmfs", "ext4-dax", "ext2-nvmmbd", "ext4-nvmmbd",
+             "hinfs@2")
 PATHS = ["/f0", "/f1", "/f2", "/f3"]
 
 
